@@ -1,0 +1,64 @@
+// E10 — the Section 3 footnote: the upper-bound shapes hold for all simple
+// cache replacement policies (and the lower-bound gadgets still blow up).
+// Re-runs the fig6a and fig7a experiments under LRU, FIFO, direct-mapped,
+// and 4-way set-associative caches.
+#include "bench_common.hpp"
+#include "graphs/fig6_controller.hpp"
+#include "sched/controller.hpp"
+
+using namespace wsf;
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_cache_policies — replacement-policy robustness");
+  auto& cache = args.add_int("cache-lines", 16, "cache lines C");
+  if (!args.parse(argc, argv)) return 0;
+  const auto C = static_cast<std::size_t>(cache.value);
+
+  bench::print_header(
+      "E10 — simple replacement policies (LRU / FIFO / direct / assoc4)",
+      "the additional-miss blowups of the lower-bound gadgets and the "
+      "additional-miss moderation of future-first persist across policies");
+
+  support::Table table({"gadget", "policy", "seq miss", "par miss",
+                        "add'l miss"});
+  for (const char* policy : {"lru", "fifo", "direct", "assoc4"}) {
+    auto gen = graphs::fig6a(32, C);
+    sched::SimOptions opts;
+    opts.procs = 2;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    opts.cache_lines = C;
+    opts.cache_policy = policy;
+    graphs::Fig6Controller ctrl;
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    table.row()
+        .add("fig6a(m=32)")
+        .add(policy)
+        .add(r.seq.misses)
+        .add(r.par.total_misses())
+        .add(r.additional_misses);
+  }
+  for (const char* policy : {"lru", "fifo", "direct", "assoc4"}) {
+    auto gen = graphs::fig7a(32, C);
+    sched::SimOptions opts;
+    opts.procs = 2;
+    opts.policy = core::ForkPolicy::ParentFirst;
+    opts.cache_lines = C;
+    opts.cache_policy = policy;
+    sched::ScriptController ctrl;
+    ctrl.sleep_after("s", 1).prefer_victim(1, {0});
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    table.row()
+        .add("fig7a(n=32)")
+        .add(policy)
+        .add(r.seq.misses)
+        .add(r.par.total_misses())
+        .add(r.additional_misses);
+  }
+  table.print("");
+  std::printf(
+      "note: the paper's constructions tune block layouts to LRU; other\n"
+      "policies shift constants (direct-mapped adds conflict misses even\n"
+      "sequentially) but the parallel blowup of the gadgets persists.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E14 (extension) — the deviation chains of Theorem 8's proof, measured:
+// every steal roots at most one chain of touch deviations, and chains are
+// bounded by T∞. On the fig6a gadget one steal roots one chain of length
+// ≈ m; on random DAGs chains stay short.
+#include "bench_common.hpp"
+#include "graphs/fig6_controller.hpp"
+
+using namespace wsf;
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_deviation_chains — Theorem 8's chain structure, measured");
+  auto& seeds = args.add_int("seeds", 10, "random schedules per row");
+  if (!args.parse(argc, argv)) return 0;
+  const auto S = static_cast<std::uint64_t>(seeds.value);
+
+  bench::print_header(
+      "E14 — deviation chains (Theorem 8 proof structure)",
+      "each steal roots one chain of touch deviations; chain length ≤ T∞; "
+      "total touch deviations ≈ sum of chain lengths");
+
+  {
+    support::Table table({"m", "steals", "chains", "longest", "sum lengths",
+                          "touch devs"});
+    for (std::uint32_t m : {8, 16, 32, 64}) {
+      auto gen = graphs::fig6a(m, 0);
+      sched::SimOptions opts;
+      opts.procs = 2;
+      opts.policy = core::ForkPolicy::FutureFirst;
+      graphs::Fig6Controller ctrl;
+      const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+      const auto chains = core::deviation_chains(
+          gen.graph, r.deviations, r.par.stolen_nodes);
+      std::size_t longest = 0, total = 0;
+      for (const auto& c : chains) {
+        longest = std::max(longest, c.touches.size());
+        total += c.touches.size();
+      }
+      table.row()
+          .add(static_cast<std::uint64_t>(m))
+          .add(r.par.steals)
+          .add(chains.size())
+          .add(longest)
+          .add(total)
+          .add(r.deviations.touch_deviations);
+    }
+    table.print("fig6a (one scripted steal):");
+  }
+
+  {
+    support::Table t2({"nodes", "T∞", "P", "mean steals",
+                       "mean longest chain", "mean touch devs",
+                       "mean chain sum"});
+    for (std::uint32_t procs : {2, 8}) {
+      graphs::RandomDagParams gp;
+      gp.seed = 31;
+      gp.target_nodes = 3000;
+      const auto gen = graphs::random_single_touch(gp);
+      double longest = 0, touch_devs = 0, steals = 0, sum = 0;
+      std::uint64_t span = 0;
+      for (std::uint64_t s = 1; s <= S; ++s) {
+        sched::SimOptions opts;
+        opts.procs = procs;
+        opts.policy = core::ForkPolicy::FutureFirst;
+        opts.seed = s;
+        opts.stall_prob = 0.2;
+        const auto r = sched::run_experiment(gen.graph, opts);
+        const auto chains = core::deviation_chains(
+            gen.graph, r.deviations, r.par.stolen_nodes);
+        std::size_t lmax = 0, lsum = 0;
+        for (const auto& c : chains) {
+          lmax = std::max(lmax, c.touches.size());
+          lsum += c.touches.size();
+        }
+        longest += static_cast<double>(lmax);
+        sum += static_cast<double>(lsum);
+        touch_devs += static_cast<double>(r.deviations.touch_deviations);
+        steals += static_cast<double>(r.par.steals);
+        span = r.stats.span;
+      }
+      const auto n = static_cast<double>(S);
+      t2.row()
+          .add(gen.graph.num_nodes())
+          .add(span)
+          .add(static_cast<std::uint64_t>(procs))
+          .add(steals / n)
+          .add(longest / n)
+          .add(touch_devs / n)
+          .add(sum / n);
+    }
+    t2.print("random single-touch DAGs:");
+  }
+  return 0;
+}

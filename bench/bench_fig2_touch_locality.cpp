@@ -1,0 +1,77 @@
+// E4 — Figure 2: a single touch can cost Ω(C·T∞) additional cache misses
+// under the parent-first policy (the gadget the paper uses to lift
+// Spoonhower et al.'s deviation bound to cache misses). Sweeps C and n on
+// the fig7a construction (the paper: "This DAG is similar to the DAG in
+// Figure 7(a)").
+#include "bench_common.hpp"
+#include "sched/controller.hpp"
+
+using namespace wsf;
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_fig2_touch_locality — one touch costs Ω(C·T∞) under "
+      "parent-first");
+  if (!args.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "E4 — Figure 2: one deviated touch, parent-first",
+      "stealing the single-node future {s} makes touch v fire early; the "
+      "y_i/Z_i alternation then thrashes: additional misses = Θ(n·C) from "
+      "ONE touch, sequential misses stay O(C)");
+  support::Table table({"n", "C", "span", "seq miss", "par miss",
+                        "add'l miss", "deviations", "addl/(n*C)"});
+  std::vector<double> cs, addl;
+  for (std::size_t C : {4u, 8u, 16u, 32u}) {
+    const std::uint32_t n = 32;
+    auto gen = graphs::fig7a(n, C);
+    sched::SimOptions opts;
+    opts.procs = 2;
+    opts.policy = core::ForkPolicy::ParentFirst;
+    opts.cache_lines = C;
+    sched::ScriptController ctrl;
+    ctrl.sleep_after("s", 1).prefer_victim(1, {0});
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    table.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(static_cast<std::uint64_t>(C))
+        .add(static_cast<std::uint64_t>(r.stats.span))
+        .add(r.seq.misses)
+        .add(r.par.total_misses())
+        .add(r.additional_misses)
+        .add(static_cast<std::uint64_t>(r.deviations.deviations))
+        .add(static_cast<double>(r.additional_misses) /
+             (static_cast<double>(n) * static_cast<double>(C)));
+    cs.push_back(static_cast<double>(C));
+    addl.push_back(static_cast<double>(r.additional_misses));
+  }
+  table.print("");
+  bench::print_exponent("additional misses vs C", cs, addl, 1.0, 0.3);
+
+  support::Table t2({"n", "C", "seq miss", "add'l miss", "addl/(n*C)"});
+  std::vector<double> ns, addl2;
+  for (std::uint32_t n : {8, 16, 32, 64, 128}) {
+    const std::size_t C = 16;
+    auto gen = graphs::fig7a(n, C);
+    sched::SimOptions opts;
+    opts.procs = 2;
+    opts.policy = core::ForkPolicy::ParentFirst;
+    opts.cache_lines = C;
+    sched::ScriptController ctrl;
+    ctrl.sleep_after("s", 1).prefer_victim(1, {0});
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    t2.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(static_cast<std::uint64_t>(C))
+        .add(r.seq.misses)
+        .add(r.additional_misses)
+        .add(static_cast<double>(r.additional_misses) /
+             (static_cast<double>(n) * static_cast<double>(C)));
+    ns.push_back(n);
+    addl2.push_back(static_cast<double>(r.additional_misses));
+  }
+  t2.print("");
+  bench::print_exponent("additional misses vs n (∝ T∞)", ns, addl2, 1.0,
+                        0.25);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E5 — Figure 3 vs Figure 4: unstructured futures allow a touch to be
+// checked before its future thread is spawned; structured computations
+// never do, under any schedule.
+#include "bench_common.hpp"
+#include "graphs/registry.hpp"
+#include "sched/controller.hpp"
+
+using namespace wsf;
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_fig3_unstructured — premature touches on unstructured DAGs");
+  auto& seeds = args.add_int("seeds", 20, "random schedules per row");
+  if (!args.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "E5 — Figure 3 (unstructured) vs Figure 4 (structured)",
+      "a thief that steals the consumer chain of Figure 3 checks touches "
+      "before their future threads are spawned; Figure 4 (and every "
+      "structured family) never does");
+
+  {
+    support::Table table({"graph", "classifier", "schedule",
+                          "premature touches"});
+    auto f3 = graphs::fig3(8);
+    sched::SimOptions opts;
+    opts.procs = 2;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    sched::ScriptController ctrl;
+    ctrl.sleep_after("x", 1).prefer_victim(1, {0});
+    const auto r = sched::simulate(f3.graph, opts, &ctrl);
+    const auto rep = core::classify(f3.graph);
+    table.row()
+        .add("fig3")
+        .add(rep.structured ? "structured" : "NOT structured")
+        .add("scripted steal of x")
+        .add(r.premature_touches);
+
+    auto f4 = graphs::fig4(8, true);
+    const auto rep4 = core::classify(f4.graph);
+    std::uint64_t worst = 0;
+    for (std::uint64_t s = 1; s <= static_cast<std::uint64_t>(seeds.value);
+         ++s) {
+      sched::SimOptions o2;
+      o2.procs = 4;
+      o2.seed = s;
+      o2.stall_prob = 0.3;
+      worst = std::max(worst,
+                       sched::simulate(f4.graph, o2).premature_touches);
+    }
+    table.row()
+        .add("fig4")
+        .add(rep4.structured ? "structured" : "NOT structured")
+        .add("random x" + std::to_string(seeds.value))
+        .add(worst);
+    table.print("");
+  }
+
+  {
+    support::Table table({"family", "max premature over seeds"});
+    for (const char* name :
+         {"fig5a", "fig5b", "fig6a", "fig7a", "fig8", "forkjoin", "fib",
+          "pipeline", "future-chain", "random-single-touch",
+          "random-local-touch"}) {
+      graphs::RegistryParams p;
+      p.size = 5;
+      p.size2 = 4;
+      const auto gen = graphs::make_named(name, p);
+      std::uint64_t worst = 0;
+      for (std::uint64_t s = 1;
+           s <= static_cast<std::uint64_t>(seeds.value); ++s) {
+        sched::SimOptions opts;
+        opts.procs = 4;
+        opts.seed = s;
+        opts.stall_prob = 0.3;
+        worst = std::max(worst,
+                         sched::simulate(gen.graph, opts).premature_touches);
+      }
+      table.row().add(name).add(worst);
+    }
+    table.print("structured families (must all be 0):");
+  }
+  return 0;
+}

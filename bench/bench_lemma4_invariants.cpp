@@ -1,0 +1,137 @@
+// E12 — Lemmas 4 and 11: the sequential-order invariants behind every upper
+// bound, checked across seeds (the gtest suite asserts them; this bench
+// reports the sweep as a table for the experiment record).
+#include "bench_common.hpp"
+#include "graphs/registry.hpp"
+#include "sched/sequential.hpp"
+
+using namespace wsf;
+
+namespace {
+
+struct Violations {
+  std::uint64_t order = 0;        // future parent after local parent
+  std::uint64_t right_child = 0;  // right child not right after last node
+};
+
+Violations check_lemma4(const core::Graph& g) {
+  sched::SimOptions opts;
+  opts.policy = core::ForkPolicy::FutureFirst;
+  const auto r = sched::run_sequential(g, opts);
+  Violations v;
+  for (core::NodeId touch : g.touch_nodes()) {
+    if (r.position[g.future_parent_of(touch)] >=
+        r.position[g.local_parent_of(touch)])
+      ++v.order;
+    const core::NodeId fork = g.corresponding_fork_of(touch);
+    if (fork == core::kInvalidNode) continue;
+    if (r.position[g.fork_right_child(fork)] !=
+        r.position[g.future_parent_of(touch)] + 1)
+      ++v.right_child;
+  }
+  return v;
+}
+
+Violations check_lemma11(const core::Graph& g) {
+  sched::SimOptions opts;
+  opts.policy = core::ForkPolicy::FutureFirst;
+  const auto r = sched::run_sequential(g, opts);
+  Violations v;
+  for (core::NodeId touch : g.touch_nodes()) {
+    if (r.position[g.future_parent_of(touch)] >=
+        r.position[g.local_parent_of(touch)])
+      ++v.order;
+  }
+  for (core::ThreadId t = 1; t < g.num_threads(); ++t) {
+    const auto& info = g.thread_info(t);
+    if (r.position[g.fork_right_child(info.fork_node)] !=
+        r.position[info.last_node] + 1)
+      ++v.right_child;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_lemma4_invariants — sequential order invariants over seeds");
+  auto& seeds = args.add_int("seeds", 50, "random DAGs per family");
+  if (!args.parse(argc, argv)) return 0;
+  const auto S = static_cast<std::uint64_t>(seeds.value);
+
+  bench::print_header(
+      "E12 — Lemma 4 / Lemma 11 sequential order invariants",
+      "in the sequential future-first execution, every touch's future "
+      "parent executes before its local parent, and the corresponding "
+      "fork's right child immediately follows the future thread's last "
+      "node; zero violations expected");
+
+  support::Table table({"family", "DAGs", "touches checked",
+                        "order violations", "right-child violations"});
+  {
+    std::uint64_t touches = 0;
+    Violations total;
+    for (std::uint64_t s = 1; s <= S; ++s) {
+      graphs::RandomDagParams p;
+      p.seed = s;
+      p.target_nodes = 600;
+      const auto gen = graphs::random_single_touch(p);
+      const auto v = check_lemma4(gen.graph);
+      total.order += v.order;
+      total.right_child += v.right_child;
+      touches += gen.graph.touch_nodes().size();
+    }
+    table.row()
+        .add("random single-touch (Lemma 4)")
+        .add(S)
+        .add(touches)
+        .add(total.order)
+        .add(total.right_child);
+  }
+  {
+    std::uint64_t touches = 0;
+    Violations total;
+    for (std::uint64_t s = 1; s <= S; ++s) {
+      graphs::RandomDagParams p;
+      p.seed = s;
+      p.target_nodes = 600;
+      const auto gen = graphs::random_local_touch(p);
+      const auto v = check_lemma11(gen.graph);
+      total.order += v.order;
+      total.right_child += v.right_child;
+      touches += gen.graph.touch_nodes().size();
+    }
+    table.row()
+        .add("random local-touch (Lemma 11)")
+        .add(S)
+        .add(touches)
+        .add(total.order)
+        .add(total.right_child);
+  }
+  {
+    std::uint64_t touches = 0;
+    Violations total;
+    std::uint64_t count = 0;
+    for (const char* name : {"fig4", "fig5a", "fig5b", "fig6a", "fig6b",
+                             "fig7a", "forkjoin", "fib", "future-chain"}) {
+      graphs::RegistryParams p;
+      p.size = 6;
+      p.size2 = 4;
+      const auto gen = graphs::make_named(name, p);
+      const auto v = check_lemma4(gen.graph);
+      total.order += v.order;
+      total.right_child += v.right_child;
+      touches += gen.graph.touch_nodes().size();
+      ++count;
+    }
+    table.row()
+        .add("paper constructions (Lemma 4)")
+        .add(count)
+        .add(touches)
+        .add(total.order)
+        .add(total.right_child);
+  }
+  table.print("");
+  return 0;
+}

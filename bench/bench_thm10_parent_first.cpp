@@ -1,0 +1,127 @@
+// E3 — Theorem 10 (Figures 7(b), 8): parent-first on structured single-touch
+// computations can pay Ω(t·T∞) deviations and Ω(C·t·T∞) additional misses,
+// while the sequential execution stays at O(C + t) misses.
+#include "bench_common.hpp"
+#include "sched/controller.hpp"
+
+using namespace wsf;
+
+namespace {
+
+sched::ExperimentResult run_one_steal(const core::Graph& g, std::size_t C) {
+  sched::SimOptions opts;
+  opts.procs = 2;
+  opts.policy = core::ForkPolicy::ParentFirst;
+  opts.cache_lines = C;
+  sched::ScriptController ctrl;
+  ctrl.sleep_after("s[1]", 1).prefer_victim(1, {0});
+  return sched::run_experiment(g, opts, &ctrl);
+}
+
+void part_fig7b(std::size_t C) {
+  bench::print_header(
+      "E3a — Figure 7(b) parity chain, parent-first, ONE steal of s1",
+      "one steal at the start flips every stage and delivers the tail "
+      "deviated: Ω(T∞) deviations, Ω(C·T∞) additional misses; sequential "
+      "misses stay O(C + k)");
+  support::Table table({"k", "n", "span", "seq miss", "add'l miss",
+                        "deviations", "steals", "addl/(C*n)"});
+  std::vector<double> ns, addl;
+  for (std::uint32_t n : {8, 16, 32, 64}) {
+    const std::uint32_t k = n / 2;
+    auto gen = graphs::fig7b(k, n, C);
+    const auto r = run_one_steal(gen.graph, C);
+    table.row()
+        .add(static_cast<std::uint64_t>(k))
+        .add(static_cast<std::uint64_t>(n))
+        .add(static_cast<std::uint64_t>(r.stats.span))
+        .add(r.seq.misses)
+        .add(r.additional_misses)
+        .add(static_cast<std::uint64_t>(r.deviations.deviations))
+        .add(r.par.steals)
+        .add(static_cast<double>(r.additional_misses) /
+             (static_cast<double>(C) * n));
+    ns.push_back(n);
+    addl.push_back(static_cast<double>(r.additional_misses));
+  }
+  table.print("");
+  bench::print_exponent("additional misses vs n (∝ T∞)", ns, addl, 1.0,
+                        0.3);
+}
+
+void part_fig8(std::size_t C) {
+  bench::print_header(
+      "E3b — Figure 8 branching tree, parent-first, ONE steal of s1",
+      "t = Θ(2^depth) touches; deviations Ω(t·n) and additional misses "
+      "Ω(C·t·n) from a single steal; sequential misses O(C + t)");
+  support::Table table({"depth", "t", "n", "span", "seq miss", "add'l miss",
+                        "deviations", "dev/(t*n)", "addl/(C*t*n)"});
+  std::vector<double> ts, devs, addl;
+  const std::uint32_t n = 16;
+  for (std::uint32_t depth : {1, 2, 3, 4, 5}) {
+    auto gen = graphs::fig8(depth, n, C);
+    const auto r = run_one_steal(gen.graph, C);
+    const auto leaves = static_cast<double>(1u << depth);
+    table.row()
+        .add(static_cast<std::uint64_t>(depth))
+        .add(static_cast<std::uint64_t>(r.stats.touches))
+        .add(static_cast<std::uint64_t>(n))
+        .add(static_cast<std::uint64_t>(r.stats.span))
+        .add(r.seq.misses)
+        .add(r.additional_misses)
+        .add(static_cast<std::uint64_t>(r.deviations.deviations))
+        .add(static_cast<double>(r.deviations.deviations) / (leaves * n))
+        .add(static_cast<double>(r.additional_misses) /
+             (static_cast<double>(C) * leaves * n));
+    ts.push_back(leaves);
+    devs.push_back(static_cast<double>(r.deviations.deviations));
+    addl.push_back(static_cast<double>(r.additional_misses));
+  }
+  table.print("");
+  bench::print_exponent("deviations vs t", ts, devs, 1.0, 0.3);
+  bench::print_exponent("additional misses vs t", ts, addl, 1.0, 0.3);
+}
+
+void part_policy_contrast(std::size_t C) {
+  bench::print_header(
+      "E3c — the same DAG under future-first (Section 5.1 vs 5.2)",
+      "the future-first policy avoids the Theorem 10 blowup on the same "
+      "graphs (upper bound O(C·P·T∞²) with tiny constants here)");
+  support::Table table({"graph", "policy", "seq miss", "mean add'l miss",
+                        "mean deviations", "mean steals"});
+  for (std::uint32_t depth : {3u}) {
+    auto gen = graphs::fig8(depth, 16, C);
+    for (auto policy :
+         {core::ForkPolicy::ParentFirst, core::ForkPolicy::FutureFirst}) {
+      sched::SimOptions opts;
+      opts.procs = 2;
+      opts.policy = policy;
+      opts.cache_lines = C;
+      opts.stall_prob = 0.2;  // random work stealing with delays, 12 seeds
+      const auto m = bench::mean_over_seeds(gen.graph, opts, 12);
+      table.row()
+          .add("fig8(d=3)")
+          .add(to_string(policy))
+          .add(m.seq_misses)
+          .add(m.additional_misses)
+          .add(m.deviations)
+          .add(m.steals);
+    }
+  }
+  table.print("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_thm10_parent_first — regenerate the Theorem 10 / Figures 7–8 "
+      "series");
+  auto& cache = args.add_int("cache-lines", 16, "cache lines C");
+  if (!args.parse(argc, argv)) return 0;
+  const auto C = static_cast<std::size_t>(cache.value);
+  part_fig7b(C);
+  part_fig8(C);
+  part_policy_contrast(C);
+  return 0;
+}

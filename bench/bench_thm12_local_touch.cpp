@@ -1,0 +1,77 @@
+// E6 — Theorem 12: structured *local-touch* computations (multi-future
+// producers, e.g. pipelines) under future-first also stay within
+// O(P·T∞²) deviations / O(C·P·T∞²) additional misses.
+#include "bench_common.hpp"
+
+using namespace wsf;
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_thm12_local_touch — Theorem 12 on pipelines and random "
+      "local-touch DAGs");
+  auto& cache = args.add_int("cache-lines", 16, "cache lines C");
+  auto& seeds = args.add_int("seeds", 10, "random schedules per row");
+  if (!args.parse(argc, argv)) return 0;
+  const auto C = static_cast<std::size_t>(cache.value);
+  const auto S = static_cast<std::uint64_t>(seeds.value);
+
+  bench::print_header(
+      "E6a — Theorem 12 on pipelines (stages x items), future-first, P=8",
+      "deviations = O(P·T∞²); ratios must stay << 1");
+  support::Table table({"stages", "items", "nodes", "T∞", "mean devs",
+                        "mean add'l miss", "devs/(P*T^2)",
+                        "addl/(C*P*T^2)"});
+  for (std::uint32_t stages : {2, 4, 8}) {
+    for (std::uint32_t items : {8, 32}) {
+      const auto gen = graphs::pipeline(stages, items, C);
+      sched::SimOptions opts;
+      opts.procs = 8;
+      opts.policy = core::ForkPolicy::FutureFirst;
+      opts.cache_lines = C;
+      opts.stall_prob = 0.2;
+      const auto m = bench::mean_over_seeds(gen.graph, opts, S);
+      table.row()
+          .add(static_cast<std::uint64_t>(stages))
+          .add(static_cast<std::uint64_t>(items))
+          .add(m.nodes)
+          .add(static_cast<std::uint64_t>(m.span))
+          .add(m.deviations)
+          .add(m.additional_misses)
+          .add(m.deviations / core::structured_deviation_bound(8, m.span))
+          .add(m.additional_misses /
+               core::structured_miss_bound(C, 8, m.span));
+    }
+  }
+  table.print("");
+
+  bench::print_header(
+      "E6b — Theorem 12 on random local-touch DAGs, future-first",
+      "same bounds on arbitrary multi-future producers");
+  support::Table t2({"nodes", "T∞", "P", "mean devs", "mean add'l miss",
+                     "devs/(P*T^2)"});
+  for (std::uint32_t procs : {2, 8}) {
+    for (std::size_t target : {1000u, 4000u}) {
+      graphs::RandomDagParams gp;
+      gp.seed = 7 + target;
+      gp.target_nodes = target;
+      gp.blocks = C * 2;
+      const auto gen = graphs::random_local_touch(gp);
+      sched::SimOptions opts;
+      opts.procs = procs;
+      opts.policy = core::ForkPolicy::FutureFirst;
+      opts.cache_lines = C;
+      opts.stall_prob = 0.2;
+      const auto m = bench::mean_over_seeds(gen.graph, opts, S);
+      t2.row()
+          .add(m.nodes)
+          .add(static_cast<std::uint64_t>(m.span))
+          .add(static_cast<std::uint64_t>(procs))
+          .add(m.deviations)
+          .add(m.additional_misses)
+          .add(m.deviations /
+               core::structured_deviation_bound(procs, m.span));
+    }
+  }
+  t2.print("");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E7 — Theorems 16 and 18: structured computations with a *super final
+// node* (side-effect futures whose only touch is the final node) keep the
+// O(P·T∞²) / O(C·P·T∞²) bounds under future-first.
+#include "bench_common.hpp"
+
+using namespace wsf;
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_thm16_super_final — super-final-node variants (Definitions "
+      "13/17)");
+  auto& cache = args.add_int("cache-lines", 16, "cache lines C");
+  auto& seeds = args.add_int("seeds", 10, "random schedules per row");
+  if (!args.parse(argc, argv)) return 0;
+  const auto C = static_cast<std::size_t>(cache.value);
+  const auto S = static_cast<std::uint64_t>(seeds.value);
+
+  bench::print_header(
+      "E7 — Theorem 16: single-touch computations with side-effect futures",
+      "deviations = O(P·T∞²) and additional misses = O(C·P·T∞²) also hold "
+      "when some threads are touched only by the super final node");
+  support::Table table({"side-effect %", "nodes", "threads", "T∞", "Def13",
+                        "mean devs", "mean add'l miss", "devs/(P*T^2)"});
+  for (double prob : {0.0, 0.2, 0.5, 0.8}) {
+    graphs::RandomDagParams gp;
+    gp.seed = 4242;
+    gp.target_nodes = 3000;
+    gp.blocks = C * 2;
+    gp.side_effect_prob = prob;
+    const auto gen = graphs::random_single_touch(gp);
+    const auto rep = core::classify(gen.graph);
+    sched::SimOptions opts;
+    opts.procs = 8;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    opts.cache_lines = C;
+    opts.stall_prob = 0.2;
+    const auto m = bench::mean_over_seeds(gen.graph, opts, S);
+    table.row()
+        .add(prob * 100)
+        .add(m.nodes)
+        .add(gen.graph.num_threads())
+        .add(static_cast<std::uint64_t>(m.span))
+        .add(rep.single_touch_super ? "yes" : "NO")
+        .add(m.deviations)
+        .add(m.additional_misses)
+        .add(m.deviations / core::structured_deviation_bound(8, m.span));
+  }
+  table.print("");
+
+  bench::print_header(
+      "E7b — Theorem 18: local-touch with super final node",
+      "same bounds for multi-future producers left to the super final node");
+  support::Table t2({"nodes", "T∞", "mean devs", "devs/(P*T^2)"});
+  for (std::size_t target : {1000u, 4000u}) {
+    graphs::RandomDagParams gp;
+    gp.seed = 5555 + target;
+    gp.target_nodes = target;
+    const auto gen = graphs::random_local_touch(gp);
+    sched::SimOptions opts;
+    opts.procs = 8;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    opts.stall_prob = 0.2;
+    const auto m = bench::mean_over_seeds(gen.graph, opts, S);
+    t2.row()
+        .add(m.nodes)
+        .add(static_cast<std::uint64_t>(m.span))
+        .add(m.deviations)
+        .add(m.deviations / core::structured_deviation_bound(8, m.span));
+  }
+  t2.print("");
+  return 0;
+}

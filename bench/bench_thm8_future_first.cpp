@@ -1,0 +1,96 @@
+// E1 — Theorem 8: future-first work stealing on structured single-touch
+// computations incurs O(P·T∞) steals in expectation, O(P·T∞²) deviations,
+// and O(C·P·T∞²) additional misses. This bench measures all three on random
+// structured single-touch DAGs under randomized schedules with stall
+// injection, and reports the measured/bound ratios (which must stay far
+// below 1 and not grow with P).
+#include "bench_common.hpp"
+
+using namespace wsf;
+
+namespace {
+
+void sweep_procs(std::size_t C, std::uint64_t seeds) {
+  bench::print_header(
+      "E1a — Theorem 8 upper bound, sweep P (random single-touch DAGs)",
+      "deviations = O(P·T∞²), additional misses = O(C·P·T∞²), steals = "
+      "O(P·T∞); ratios to the bounds must stay << 1 and not grow with P");
+  support::Table table({"P", "nodes", "T∞", "t", "mean steals",
+                        "mean devs", "mean add'l miss",
+                        "steals/(P*T)", "devs/(P*T^2)", "addl/(C*P*T^2)"});
+  graphs::RandomDagParams gp;
+  gp.seed = 1234;
+  gp.target_nodes = 3000;
+  gp.blocks = C * 2;
+  const auto gen = graphs::random_single_touch(gp);
+  for (std::uint32_t procs : {2, 4, 8, 16}) {
+    sched::SimOptions opts;
+    opts.procs = procs;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    opts.cache_lines = C;
+    opts.stall_prob = 0.2;
+    const auto m = bench::mean_over_seeds(gen.graph, opts, seeds);
+    table.row()
+        .add(static_cast<std::uint64_t>(procs))
+        .add(m.nodes)
+        .add(static_cast<std::uint64_t>(m.span))
+        .add(m.touches)
+        .add(m.steals)
+        .add(m.deviations)
+        .add(m.additional_misses)
+        .add(m.steals / core::abp_steal_bound(procs, m.span))
+        .add(m.deviations / core::structured_deviation_bound(procs, m.span))
+        .add(m.additional_misses /
+             core::structured_miss_bound(C, procs, m.span));
+  }
+  table.print("");
+}
+
+void sweep_size(std::size_t C, std::uint64_t seeds) {
+  bench::print_header(
+      "E1b — Theorem 8 upper bound, sweep DAG size at P = 8",
+      "the deviation/bound and miss/bound ratios must not grow with T∞");
+  support::Table table({"nodes", "T∞", "mean steals", "mean devs",
+                        "mean add'l miss", "devs/(P*T^2)",
+                        "addl/(C*P*T^2)"});
+  for (std::size_t target : {500u, 1000u, 2000u, 4000u, 8000u}) {
+    graphs::RandomDagParams gp;
+    gp.seed = 99 + target;
+    gp.target_nodes = target;
+    gp.blocks = C * 2;
+    const auto gen = graphs::random_single_touch(gp);
+    sched::SimOptions opts;
+    opts.procs = 8;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    opts.cache_lines = C;
+    opts.stall_prob = 0.2;
+    const auto m = bench::mean_over_seeds(gen.graph, opts, seeds);
+    table.row()
+        .add(m.nodes)
+        .add(static_cast<std::uint64_t>(m.span))
+        .add(m.steals)
+        .add(m.deviations)
+        .add(m.additional_misses)
+        .add(m.deviations / core::structured_deviation_bound(8, m.span))
+        .add(m.additional_misses / core::structured_miss_bound(C, 8, m.span));
+  }
+  table.print("");
+  std::printf(
+      "note: only touches and fork children may deviate under Theorem 8's\n"
+      "argument; tests/test_deviation.cpp asserts the breakdown exactly.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_thm8_future_first — Theorem 8 expectation bounds");
+  auto& cache = args.add_int("cache-lines", 16, "cache lines C");
+  auto& seeds = args.add_int("seeds", 10, "random schedules per row");
+  if (!args.parse(argc, argv)) return 0;
+  sweep_procs(static_cast<std::size_t>(cache.value),
+              static_cast<std::uint64_t>(seeds.value));
+  sweep_size(static_cast<std::size_t>(cache.value),
+             static_cast<std::uint64_t>(seeds.value));
+  return 0;
+}

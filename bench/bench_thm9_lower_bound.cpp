@@ -1,0 +1,124 @@
+// E2 — Theorem 9 (Figure 6): the future-first upper bound is tight.
+//
+// Regenerates three series:
+//   (a) fig6a: one steal on one gadget — deviations Θ(m), additional misses
+//       Θ(m·C), sequential misses O(m + C);
+//   (b) fig6b: k gadgets, 3 processors — deviations Θ(k·m) = Θ(T∞²) for
+//       constant P (with m = k);
+//   (c) fig6c: `groups` parallel spines, 3·groups processors — deviations
+//       Ω(P·T∞²) overall.
+#include "bench_common.hpp"
+#include "graphs/fig6_controller.hpp"
+
+using namespace wsf;
+
+namespace {
+
+void part_a(std::size_t cache_lines) {
+  bench::print_header(
+      "E2a — Theorem 9 gadget (Figure 6(a)), future-first, one steal",
+      "deviations = Θ(m); additional misses = Θ(m·C); sequential stays "
+      "O(m + C)");
+  support::Table table({"m", "C", "span", "seq miss", "par miss",
+                        "add'l miss", "deviations", "steals",
+                        "dev/m", "addl/(m*C)"});
+  std::vector<double> ms, devs, addl;
+  for (std::uint32_t m : {4, 8, 16, 32, 64, 128}) {
+    auto gen = graphs::fig6a(m, cache_lines);
+    sched::SimOptions opts;
+    opts.procs = 2;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    opts.cache_lines = cache_lines;
+    graphs::Fig6Controller ctrl;
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    table.row()
+        .add(static_cast<std::uint64_t>(m))
+        .add(static_cast<std::uint64_t>(cache_lines))
+        .add(static_cast<std::uint64_t>(r.stats.span))
+        .add(r.seq.misses)
+        .add(r.par.total_misses())
+        .add(r.additional_misses)
+        .add(static_cast<std::uint64_t>(r.deviations.deviations))
+        .add(r.par.steals)
+        .add(static_cast<double>(r.deviations.deviations) / m)
+        .add(static_cast<double>(r.additional_misses) /
+             (static_cast<double>(m) * static_cast<double>(cache_lines)));
+    ms.push_back(m);
+    devs.push_back(static_cast<double>(r.deviations.deviations));
+    addl.push_back(static_cast<double>(r.additional_misses));
+  }
+  table.print("");
+  bench::print_exponent("deviations vs m", ms, devs, 1.0, 0.25);
+  bench::print_exponent("additional misses vs m", ms, addl, 1.0, 0.25);
+}
+
+void part_b() {
+  bench::print_header(
+      "E2b — Theorem 9 spine (Figure 6(b)), 3 processors",
+      "with m = k, deviations = Θ(k²) = Θ(T∞²) at constant P");
+  support::Table table({"k=m", "span", "deviations", "steals",
+                        "dev/k^2"});
+  std::vector<double> ks, devs;
+  for (std::uint32_t k : {2, 4, 8, 16, 24}) {
+    auto gen = graphs::fig6b(k, k, 0);
+    sched::SimOptions opts;
+    opts.procs = 3;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    graphs::Fig6Controller ctrl;
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    table.row()
+        .add(static_cast<std::uint64_t>(k))
+        .add(static_cast<std::uint64_t>(r.stats.span))
+        .add(static_cast<std::uint64_t>(r.deviations.deviations))
+        .add(r.par.steals)
+        .add(static_cast<double>(r.deviations.deviations) /
+             (static_cast<double>(k) * k));
+    ks.push_back(k);
+    devs.push_back(static_cast<double>(r.deviations.deviations));
+  }
+  table.print("");
+  bench::print_exponent("deviations vs k", ks, devs, 2.0, 0.35);
+}
+
+void part_c() {
+  bench::print_header(
+      "E2c — Theorem 9 composition (Figure 6(c)), 3·groups processors",
+      "deviations = Ω(P·T∞²): linear in groups at fixed k, m");
+  const std::uint32_t k = 6, m = 6;
+  support::Table table({"groups", "P", "span", "deviations", "steals",
+                        "dev/(groups*k*m)"});
+  std::vector<double> gs, devs;
+  for (std::uint32_t groups : {1, 2, 4, 8}) {
+    auto gen = graphs::fig6c(groups, k, m, 0);
+    sched::SimOptions opts;
+    opts.procs = 3 * groups;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    graphs::Fig6Controller ctrl;
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    table.row()
+        .add(static_cast<std::uint64_t>(groups))
+        .add(static_cast<std::uint64_t>(3 * groups))
+        .add(static_cast<std::uint64_t>(r.stats.span))
+        .add(static_cast<std::uint64_t>(r.deviations.deviations))
+        .add(r.par.steals)
+        .add(static_cast<double>(r.deviations.deviations) /
+             (static_cast<double>(groups) * k * m));
+    gs.push_back(groups);
+    devs.push_back(static_cast<double>(r.deviations.deviations));
+  }
+  table.print("");
+  bench::print_exponent("deviations vs groups (∝ P)", gs, devs, 1.0, 0.3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "bench_thm9_lower_bound — regenerate the Theorem 9 / Figure 6 series");
+  auto& cache = args.add_int("cache-lines", 16, "cache lines C for part a");
+  if (!args.parse(argc, argv)) return 0;
+  part_a(static_cast<std::size_t>(cache.value));
+  part_b();
+  part_c();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 5(b): MethodB / MethodC — a future is created by one task and
+// passed (moved) into another task, which touches it. Still structured
+// single-touch: exactly one of the receiving threads touches the future,
+// and the touch is a descendant of the creating fork's right child.
+#include <cstdio>
+#include <string>
+
+#include "runtime/pool.hpp"
+
+namespace rt = wsf::runtime;
+
+namespace {
+
+// MethodC(Future f) { a = f.touch(); ... }
+std::string method_c(rt::Future<std::string> f) {
+  return "C(" + f.touch() + ")";
+}
+
+// MethodB { Future x = ...; Future y = MethodC(x); ... }
+std::string method_b() {
+  auto x = rt::spawn([] { return std::string("x-value"); });
+  // Pass x into a new future thread; ownership moves with it, so only the
+  // receiver may touch it (the runtime enforces single-touch).
+  auto y = rt::spawn(
+      [x = std::move(x)]() mutable { return method_c(std::move(x)); });
+  return y.touch();
+}
+
+}  // namespace
+
+int main() {
+  rt::Scheduler sched({.workers = 2});
+  const std::string result = sched.run([] { return method_b(); });
+  std::printf("MethodB returned: %s\n", result.c_str());
+
+  // A chain of passes (x handed down three levels) is still single-touch.
+  const int deep = sched.run([] {
+    auto x = rt::spawn([] { return 40; });
+    auto l1 = rt::spawn([x = std::move(x)]() mutable {
+      auto l2 = rt::spawn(
+          [x = std::move(x)]() mutable { return x.touch() + 1; });
+      return l2.touch() + 1;
+    });
+    return l1.touch();
+  });
+  std::printf("three-level pass: %d (expected 42)\n", deep);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include <cstdlib>
+
+#include "cache/cache.hpp"
+#include "support/check.hpp"
+
+namespace wsf::cache {
+
+std::unique_ptr<CacheModel> make_cache(const std::string& policy,
+                                       std::size_t lines) {
+  if (policy == "lru") return make_lru(lines);
+  if (policy == "fifo") return make_fifo(lines);
+  if (policy == "direct") return make_direct_mapped(lines);
+  if (policy.rfind("assoc", 0) == 0) {
+    const std::string ways_str = policy.substr(5);
+    char* end = nullptr;
+    const long ways = std::strtol(ways_str.c_str(), &end, 10);
+    WSF_REQUIRE(end && *end == '\0' && ways > 0,
+                "bad associativity in cache policy '" << policy << "'");
+    return make_set_associative(lines, static_cast<std::size_t>(ways));
+  }
+  WSF_REQUIRE(false, "unknown cache policy '"
+                         << policy << "' (try lru, fifo, direct, assocW)");
+  return nullptr;
+}
+
+}  // namespace wsf::cache

@@ -1,0 +1,60 @@
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.hpp"
+#include "support/check.hpp"
+
+namespace wsf::cache {
+namespace {
+
+/// Fully associative LRU: recency list (front = most recent) plus an index
+/// from block to list position. O(1) amortized per access.
+class LruCache final : public CacheModel {
+ public:
+  explicit LruCache(std::size_t lines) : lines_(lines) {
+    WSF_REQUIRE(lines_ > 0, "cache needs at least one line");
+  }
+
+  void reset() override {
+    recency_.clear();
+    index_.clear();
+    reset_counters();
+  }
+
+  std::size_t capacity() const override { return lines_; }
+  std::string name() const override { return "lru"; }
+
+  bool contains(core::BlockId block) const override {
+    return index_.count(block) != 0;
+  }
+
+ protected:
+  bool lookup_and_insert(core::BlockId block) override {
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+      recency_.splice(recency_.begin(), recency_, it->second);
+      return false;  // hit
+    }
+    if (recency_.size() == lines_) {
+      index_.erase(recency_.back());
+      recency_.pop_back();
+    }
+    recency_.push_front(block);
+    index_[block] = recency_.begin();
+    return true;  // miss
+  }
+
+ private:
+  std::size_t lines_;
+  std::list<core::BlockId> recency_;
+  std::unordered_map<core::BlockId, std::list<core::BlockId>::iterator>
+      index_;
+};
+
+}  // namespace
+
+std::unique_ptr<CacheModel> make_lru(std::size_t lines) {
+  return std::make_unique<LruCache>(lines);
+}
+
+}  // namespace wsf::cache

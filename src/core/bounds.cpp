@@ -1,0 +1,38 @@
+#include "core/bounds.hpp"
+
+namespace wsf::core {
+
+double abp_steal_bound(std::uint64_t procs, std::uint64_t span) {
+  return static_cast<double>(procs) * static_cast<double>(span);
+}
+
+double structured_deviation_bound(std::uint64_t procs, std::uint64_t span) {
+  return static_cast<double>(procs) * static_cast<double>(span) *
+         static_cast<double>(span);
+}
+
+double structured_miss_bound(std::uint64_t cache_lines, std::uint64_t procs,
+                             std::uint64_t span) {
+  return static_cast<double>(cache_lines) *
+         structured_deviation_bound(procs, span);
+}
+
+double parent_first_deviation_bound(std::uint64_t touches,
+                                    std::uint64_t span) {
+  return static_cast<double>(touches) * static_cast<double>(span);
+}
+
+double parent_first_miss_bound(std::uint64_t cache_lines,
+                               std::uint64_t touches, std::uint64_t span) {
+  return static_cast<double>(cache_lines) *
+         parent_first_deviation_bound(touches, span);
+}
+
+double unstructured_deviation_bound(std::uint64_t procs,
+                                    std::uint64_t touches,
+                                    std::uint64_t span) {
+  return (static_cast<double>(procs) + static_cast<double>(touches)) *
+         static_cast<double>(span);
+}
+
+}  // namespace wsf::core

@@ -1,0 +1,55 @@
+// Structure classification of computation DAGs — the paper's Definitions
+// 1, 2, 3 (Section 4) and 13, 17 (Section 6.2), plus fork-join detection.
+//
+// The classifier is the static half of the paper's contribution: it decides
+// whether a computation is disciplined enough for the locality guarantees to
+// apply (Theorems 8, 12, 16, 18). It is evaluated on test- and example-scale
+// graphs; generators record their intended class and tests cross-check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace wsf::core {
+
+/// Full classification result with human-readable violation notes.
+struct StructureReport {
+  /// Definition 1: for the future thread t of any fork v, local parents of
+  /// t's touches are descendants of v, and at least one touch of t is a
+  /// descendant of v's right child.
+  bool structured = false;
+  /// Definition 2: structured and each future thread is touched exactly
+  /// once, at a descendant of its fork's right child.
+  bool single_touch = false;
+  /// Definition 3: each future thread is touched only by its parent thread,
+  /// at descendants of its fork's right child.
+  bool local_touch = false;
+  /// Definition 13: structured single-touch with a super final node — each
+  /// future thread has one or two touches: a descendant of its fork's right
+  /// child and/or the super final node.
+  bool single_touch_super = false;
+  /// Definition 17: local-touch where the super final node may also touch.
+  bool local_touch_super = false;
+  /// Fork-join (Cilk-style) computation: single-touch + local-touch with
+  /// properly nested (LIFO) touch order per thread. A strict subset of
+  /// structured single-touch computations (Section 4).
+  bool fork_join = false;
+  /// Whether the graph carries super-final edges at all.
+  bool has_super_final = false;
+  /// One line per violated condition, for diagnostics.
+  std::vector<std::string> violations;
+};
+
+/// Classifies a validated graph against all the paper's structure
+/// definitions. Cost is O(forks × edges); intended for graphs up to a few
+/// hundred thousand nodes.
+StructureReport classify(const Graph& g);
+
+/// Convenience predicates built on classify().
+bool is_structured(const Graph& g);
+bool is_structured_single_touch(const Graph& g);
+bool is_structured_local_touch(const Graph& g);
+
+}  // namespace wsf::core

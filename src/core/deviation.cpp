@@ -1,0 +1,95 @@
+#include "core/deviation.hpp"
+
+#include "support/check.hpp"
+
+namespace wsf::core {
+
+DeviationReport count_deviations(
+    const Graph& g, const std::vector<NodeId>& seq_order,
+    const std::vector<std::vector<NodeId>>& proc_orders) {
+  const std::size_t n = g.num_nodes();
+  WSF_REQUIRE(seq_order.size() == n,
+              "sequential order must cover every node: " << seq_order.size()
+                                                         << " vs " << n);
+  // seq_pred[v] = node executed immediately before v sequentially.
+  std::vector<NodeId> seq_pred(n, kInvalidNode);
+  for (std::size_t i = 1; i < seq_order.size(); ++i)
+    seq_pred[seq_order[i]] = seq_order[i - 1];
+
+  // Right children of forks, for the breakdown.
+  std::vector<char> is_fork_child(n, 0);
+  for (NodeId fork : g.fork_nodes()) {
+    is_fork_child[g.fork_left_child(fork)] = 1;
+    is_fork_child[g.fork_right_child(fork)] = 1;
+  }
+
+  DeviationReport r;
+  r.is_deviation.assign(n, 0);
+  std::size_t executed = 0;
+  for (const auto& order : proc_orders) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      ++executed;
+      const NodeId v = order[i];
+      const NodeId actual_prev = i == 0 ? kInvalidNode : order[i - 1];
+      const NodeId wanted_prev = seq_pred[v];
+      if (wanted_prev == kInvalidNode) continue;  // first node overall
+      if (actual_prev == wanted_prev) continue;
+      r.is_deviation[v] = 1;
+      ++r.deviations;
+      if (g.is_touch(v))
+        ++r.touch_deviations;
+      else if (is_fork_child[v])
+        ++r.fork_child_deviations;
+      else
+        ++r.other_deviations;
+    }
+  }
+  WSF_REQUIRE(executed == n, "parallel execution covered "
+                                 << executed << " of " << n << " nodes");
+  return r;
+}
+
+std::vector<DeviationChain> deviation_chains(
+    const Graph& g, const DeviationReport& report,
+    const std::vector<NodeId>& stolen_nodes) {
+  std::vector<DeviationChain> chains;
+  chains.reserve(stolen_nodes.size());
+  for (NodeId stolen : stolen_nodes) {
+    DeviationChain chain;
+    chain.stolen = stolen;
+    // The stolen node is a fork's right child in parsimonious stealing
+    // (only fork children enter deques); find its fork. The left child
+    // case (parent-first pushes the future thread head) roots the chain at
+    // the same fork.
+    const Node& sn = g.node(stolen);
+    NodeId fork = kInvalidNode;
+    if (sn.in_count == 1 && (sn.in[0].kind == EdgeKind::Continuation ||
+                             sn.in[0].kind == EdgeKind::Future)) {
+      const NodeId pred = sn.in[0].node;
+      if (g.is_fork(pred)) fork = pred;
+    }
+    if (fork == kInvalidNode) {
+      chains.push_back(std::move(chain));
+      continue;
+    }
+    // Follow: fork → its future thread's touch; if that touch deviated and
+    // lies inside another (forked) future thread, continue with that
+    // thread's touch.
+    ThreadId t = g.thread_of(g.fork_left_child(fork));
+    std::size_t guard = 0;
+    while (guard++ <= g.num_nodes()) {
+      const auto touches = g.touches_of_thread(t);
+      if (touches.size() != 1) break;  // chains are defined for single-touch
+      const NodeId x = touches.front();
+      if (!report.is_deviation[x]) break;
+      chain.touches.push_back(x);
+      const ThreadId next = g.thread_of(x);
+      if (next == 0 || next == t) break;  // reached the main thread
+      t = next;
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace wsf::core

@@ -1,0 +1,63 @@
+// Deviation (drifted-node) accounting — Section 4 of the paper, following
+// Acar, Blelloch & Blumofe (SPAA'00) and Spoonhower et al. (SPAA'09).
+//
+// Consider the sequential execution, and let v1 be the node executed
+// immediately before v2. A *deviation* occurs in a parallel execution when a
+// processor executes v2 but not immediately after executing v1 itself.
+// Additional cache misses of the parallel execution are bounded by
+// C × deviations (Acar et al.), which is why every bench reports both.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/ids.hpp"
+
+namespace wsf::core {
+
+/// Result of comparing a parallel execution against the sequential order.
+struct DeviationReport {
+  std::size_t deviations = 0;
+  /// Flag per NodeId: 1 if that node was a deviation.
+  std::vector<char> is_deviation;
+  /// Deviations that are touch nodes vs fork right-children vs other — the
+  /// paper proves only the first two kinds can occur (Section 5.1); tests
+  /// assert `other == 0` on structured computations.
+  std::size_t touch_deviations = 0;
+  std::size_t fork_child_deviations = 0;
+  std::size_t other_deviations = 0;
+};
+
+/// Counts deviations of a parallel execution.
+///
+/// `seq_order`  — node execution order of the sequential execution (all
+///                nodes exactly once).
+/// `proc_orders` — for each processor, the sequence of nodes it executed, in
+///                execution order; every node appears exactly once across
+///                all processors.
+DeviationReport count_deviations(
+    const Graph& g, const std::vector<NodeId>& seq_order,
+    const std::vector<std::vector<NodeId>>& proc_orders);
+
+/// A deviation chain (proof of Theorem 8): starting from a stolen fork
+/// right-child u, the touch x₁ of the fork's future thread may deviate;
+/// if x₁ lies in a future thread t₂, t₂'s own touch x₂ may deviate next,
+/// and so on — a directed path of at most T∞ touches per steal.
+struct DeviationChain {
+  /// The stolen right child that roots the chain.
+  NodeId stolen = kInvalidNode;
+  /// The deviated touches x₁, x₂, … in chain order (possibly empty when
+  /// the steal caused no touch deviation).
+  std::vector<NodeId> touches;
+};
+
+/// Extracts the deviation chain rooted at each stolen node (single-touch
+/// computations only: each future thread has one touch, so chains are
+/// unique). A chain is followed while its touches are flagged as deviations
+/// in `report`.
+std::vector<DeviationChain> deviation_chains(
+    const Graph& g, const DeviationReport& report,
+    const std::vector<NodeId>& stolen_nodes);
+
+}  // namespace wsf::core

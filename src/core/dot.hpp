@@ -1,0 +1,25 @@
+// Graphviz (DOT) export of computation DAGs, with the paper's visual
+// conventions: continuation edges solid, future edges dashed, touch edges
+// dotted; one cluster per thread; roles as labels.
+#pragma once
+
+#include <string>
+
+#include "core/graph.hpp"
+
+namespace wsf::core {
+
+struct DotOptions {
+  /// Group nodes of each thread in a subgraph cluster.
+  bool cluster_threads = true;
+  /// Include memory-block annotations ("m3") on node labels.
+  bool show_blocks = true;
+  /// Cap on nodes rendered; larger graphs are truncated with a note
+  /// (Graphviz output beyond a few thousand nodes is unusable anyway).
+  std::size_t max_nodes = 5000;
+};
+
+/// Renders the graph as a DOT digraph string.
+std::string to_dot(const Graph& g, const DotOptions& opts = {});
+
+}  // namespace wsf::core

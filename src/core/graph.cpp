@@ -1,0 +1,265 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+
+#include "core/traversal.hpp"
+#include "support/check.hpp"
+
+namespace wsf::core {
+
+const char* to_string(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::Continuation:
+      return "continuation";
+    case EdgeKind::Future:
+      return "future";
+    case EdgeKind::Touch:
+      return "touch";
+  }
+  return "?";
+}
+
+std::size_t Graph::num_edges() const {
+  std::size_t n = super_final_preds_.size();
+  for (const Node& node : nodes_) n += node.out_count;
+  return n;
+}
+
+std::size_t Graph::in_degree(NodeId id) const {
+  std::size_t d = nodes_[id].in_count;
+  if (id == final_) d += super_final_preds_.size();
+  return d;
+}
+
+bool Graph::is_fork(NodeId id) const {
+  const Node& n = nodes_[id];
+  if (n.out_count != 2) return false;
+  return (n.out[0].kind == EdgeKind::Future &&
+          n.out[1].kind == EdgeKind::Continuation) ||
+         (n.out[0].kind == EdgeKind::Continuation &&
+          n.out[1].kind == EdgeKind::Future);
+}
+
+bool Graph::is_touch(NodeId id) const {
+  const Node& n = nodes_[id];
+  for (std::uint8_t i = 0; i < n.in_count; ++i)
+    if (n.in[i].kind == EdgeKind::Touch) return true;
+  return false;
+}
+
+bool Graph::is_future_parent(NodeId id) const {
+  const Node& n = nodes_[id];
+  for (std::uint8_t i = 0; i < n.out_count; ++i)
+    if (n.out[i].kind == EdgeKind::Touch) return true;
+  return false;
+}
+
+NodeId Graph::fork_left_child(NodeId fork) const {
+  const Node& n = nodes_[fork];
+  WSF_REQUIRE(is_fork(fork), "node " << fork << " is not a fork");
+  for (std::uint8_t i = 0; i < n.out_count; ++i)
+    if (n.out[i].kind == EdgeKind::Future) return n.out[i].node;
+  return kInvalidNode;
+}
+
+NodeId Graph::fork_right_child(NodeId fork) const {
+  const Node& n = nodes_[fork];
+  WSF_REQUIRE(is_fork(fork), "node " << fork << " is not a fork");
+  for (std::uint8_t i = 0; i < n.out_count; ++i)
+    if (n.out[i].kind == EdgeKind::Continuation) return n.out[i].node;
+  return kInvalidNode;
+}
+
+NodeId Graph::future_parent_of(NodeId touch) const {
+  const Node& n = nodes_[touch];
+  for (std::uint8_t i = 0; i < n.in_count; ++i)
+    if (n.in[i].kind == EdgeKind::Touch) return n.in[i].node;
+  WSF_REQUIRE(false, "node " << touch << " is not a touch");
+  return kInvalidNode;
+}
+
+NodeId Graph::local_parent_of(NodeId touch) const {
+  const Node& n = nodes_[touch];
+  bool has_touch_edge = false;
+  NodeId local = kInvalidNode;
+  for (std::uint8_t i = 0; i < n.in_count; ++i) {
+    if (n.in[i].kind == EdgeKind::Touch)
+      has_touch_edge = true;
+    else
+      local = n.in[i].node;
+  }
+  WSF_REQUIRE(has_touch_edge, "node " << touch << " is not a touch");
+  return local;
+}
+
+ThreadId Graph::future_thread_of(NodeId touch) const {
+  return nodes_[future_parent_of(touch)].thread;
+}
+
+NodeId Graph::corresponding_fork_of(NodeId touch) const {
+  return threads_[future_thread_of(touch)].fork_node;
+}
+
+std::vector<NodeId> Graph::touches_of_thread(ThreadId t) const {
+  std::vector<NodeId> out;
+  for (NodeId touch : touch_nodes_)
+    if (future_thread_of(touch) == t) out.push_back(touch);
+  return out;
+}
+
+void Graph::set_role(NodeId id, const std::string& role) {
+  WSF_REQUIRE(id < nodes_.size(), "role on unknown node " << id);
+  WSF_REQUIRE(!role_to_node_.count(role), "duplicate role '" << role << "'");
+  role_to_node_[role] = id;
+  node_to_role_[id] = role;
+}
+
+NodeId Graph::node_by_role(const std::string& role) const {
+  auto it = role_to_node_.find(role);
+  return it == role_to_node_.end() ? kInvalidNode : it->second;
+}
+
+const std::string& Graph::role_of(NodeId id) const {
+  static const std::string kEmpty;
+  auto it = node_to_role_.find(id);
+  return it == node_to_role_.end() ? kEmpty : it->second;
+}
+
+NodeId Graph::add_node(ThreadId thread, BlockId block) {
+  WSF_CHECK(nodes_.size() < kInvalidNode, "graph too large");
+  Node n;
+  n.thread = thread;
+  n.block = block;
+  nodes_.push_back(n);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Graph::add_edge(NodeId from, NodeId to, EdgeKind kind) {
+  Node& f = nodes_[from];
+  Node& t = nodes_[to];
+  WSF_CHECK(f.out_count < 2,
+            "node " << from << " already has two out-edges");
+  WSF_CHECK(t.in_count < 2, "node " << to << " already has two in-edges");
+  f.out[f.out_count++] = HalfEdge{to, kind};
+  t.in[t.in_count++] = HalfEdge{from, kind};
+  if (kind == EdgeKind::Touch) {
+    // A node becomes a touch when its touch in-edge is added; record it once.
+    touch_nodes_.push_back(to);
+  }
+}
+
+void Graph::add_super_final_edge(NodeId from) {
+  WSF_CHECK(final_ != kInvalidNode, "finalize the graph before super edges");
+  Node& f = nodes_[from];
+  WSF_CHECK(f.out_count < 2,
+            "node " << from << " already has two out-edges");
+  f.out[f.out_count++] = HalfEdge{final_, EdgeKind::Touch};
+  super_final_preds_.push_back(from);
+}
+
+void Graph::validate() const {
+  WSF_CHECK(!nodes_.empty(), "empty graph");
+  WSF_CHECK(final_ != kInvalidNode, "graph was never finalized");
+
+  // Degree conventions.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (id == root()) {
+      WSF_CHECK(in_degree(id) == 0, "root must have in-degree 0");
+    } else {
+      WSF_CHECK(in_degree(id) >= 1 && (in_degree(id) <= 2 || id == final_),
+                "node " << id << " has in-degree " << in_degree(id));
+    }
+    if (id == final_) {
+      WSF_CHECK(n.out_count == 0, "final node must have out-degree 0");
+    } else {
+      WSF_CHECK(n.out_count >= 1 && n.out_count <= 2,
+                "node " << id << " has out-degree " << int(n.out_count));
+    }
+    // No node mixes two out-edges of the same kind, and the only legal
+    // out-degree-2 combinations are fork (continuation+future) and future
+    // parent (continuation+touch).
+    if (n.out_count == 2) {
+      // Two touch out-edges are legal only when one of them is a
+      // super-final edge (Definition 13: a regular touch plus the super
+      // final node).
+      if (n.out[0].kind == n.out[1].kind) {
+        WSF_CHECK(n.out[0].kind == EdgeKind::Touch &&
+                      (n.out[0].node == final_ || n.out[1].node == final_) &&
+                      has_super_final(),
+                  "node " << id << " has two out-edges of the same kind");
+      } else {
+        const bool fork = is_fork(id);
+        const bool fparent =
+            (n.out[0].kind == EdgeKind::Continuation ||
+             n.out[1].kind == EdgeKind::Continuation) &&
+            (n.out[0].kind == EdgeKind::Touch ||
+             n.out[1].kind == EdgeKind::Touch);
+        WSF_CHECK(fork || fparent,
+                  "node " << id << " has an illegal out-edge combination");
+      }
+    }
+    // Touches have exactly one continuation and one touch in-edge.
+    if (is_touch(id) && id != final_) {
+      WSF_CHECK(n.in_count == 2, "touch " << id << " must have in-degree 2");
+      const bool ok =
+          (n.in[0].kind == EdgeKind::Touch &&
+           n.in[1].kind == EdgeKind::Continuation) ||
+          (n.in[1].kind == EdgeKind::Touch &&
+           n.in[0].kind == EdgeKind::Continuation);
+      WSF_CHECK(ok, "touch " << id
+                             << " needs one continuation and one touch edge");
+    }
+  }
+
+  // Fork children: in-degree 1 and not touches (paper convention).
+  for (NodeId fork : fork_nodes_) {
+    const NodeId l = fork_left_child(fork);
+    const NodeId r = fork_right_child(fork);
+    WSF_CHECK(in_degree(l) == 1 && !is_touch(l),
+              "left child of fork " << fork << " violates the convention");
+    WSF_CHECK(in_degree(r) == 1 && !is_touch(r),
+              "right child of fork " << fork << " violates the convention");
+  }
+
+  // Thread structure: every non-main thread starts at a future edge and ends
+  // with a single outgoing touch edge.
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    const ThreadInfo& ti = threads_[t];
+    WSF_CHECK(ti.first_node != kInvalidNode, "thread " << t << " is empty");
+    if (t == 0) {
+      WSF_CHECK(ti.first_node == root(), "main thread must start at root");
+      WSF_CHECK(ti.last_node == final_, "main thread must end at final node");
+    } else {
+      const Node& first = nodes_[ti.first_node];
+      WSF_CHECK(first.in_count == 1 && first.in[0].kind == EdgeKind::Future,
+                "thread " << t << " must start with a future edge");
+      const Node& last = nodes_[ti.last_node];
+      WSF_CHECK(last.out_count >= 1, "thread " << t << " has a dangling tail");
+      for (std::uint8_t i = 0; i < last.out_count; ++i)
+        WSF_CHECK(last.out[i].kind == EdgeKind::Touch,
+                  "thread " << t
+                            << "'s last node must carry only touch edges");
+    }
+  }
+
+  // Acyclicity + full reachability: the topological order covers all nodes
+  // exactly when the in-degree bookkeeping is consistent and there is no
+  // cycle; every node must reach the final node (unique sink).
+  const std::vector<NodeId> topo = topological_order(*this);
+  WSF_CHECK(topo.size() == nodes_.size(),
+            "graph has a cycle or disconnected bookkeeping: topo covers "
+                << topo.size() << " of " << nodes_.size() << " nodes");
+  std::vector<char> reaches_final(nodes_.size(), 0);
+  reaches_final[final_] = 1;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Node& n = nodes_[*it];
+    for (std::uint8_t i = 0; i < n.out_count; ++i)
+      if (reaches_final[n.out[i].node]) reaches_final[*it] = 1;
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    WSF_CHECK(reaches_final[id],
+              "node " << id << " cannot reach the final node");
+}
+
+}  // namespace wsf::core

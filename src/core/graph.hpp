@@ -1,0 +1,178 @@
+// Computation-DAG representation (Section 2.1 of the paper).
+//
+// A future-parallel computation is a DAG whose nodes are unit tasks and whose
+// edges are one of three kinds:
+//   * continuation edges — from one node to the next in the same thread,
+//   * future edges       — from a fork node to the first node of the thread
+//                          it spawns,
+//   * touch edges        — from a node of the future thread (the "future
+//                          parent") to the touch node in another thread.
+//
+// Model conventions enforced here (and checked by Graph::validate):
+//   * every node has in/out degree 1 or 2, except the root (in 0), the final
+//     node (out 0, and possibly in > 2 when it is a "super final node",
+//     Section 6.2),
+//   * a fork's two children both have in-degree 1 and are not touches,
+//   * a touch has exactly two predecessors: its local parent (continuation
+//     edge) and its future parent (touch edge),
+//   * every non-main thread's last node has exactly one outgoing edge, a
+//     touch edge (the thread's synchronization point, Section 4).
+//
+// Graphs are normally produced through GraphBuilder (builder.hpp), which
+// maintains these invariants during construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace wsf::core {
+
+enum class EdgeKind : std::uint8_t {
+  Continuation = 0,
+  Future = 1,
+  Touch = 2,
+};
+
+const char* to_string(EdgeKind k);
+
+/// A directed edge endpoint stored inline in a node.
+struct HalfEdge {
+  NodeId node = kInvalidNode;
+  EdgeKind kind = EdgeKind::Continuation;
+};
+
+/// One task in the computation DAG. Nodes are POD-ish and stored contiguously
+/// in the Graph; all structural queries go through Graph methods.
+struct Node {
+  /// Thread (maximal continuation chain) this node belongs to.
+  ThreadId thread = kInvalidThread;
+  /// Memory block accessed when this node executes (kNoBlock for none).
+  BlockId block = kNoBlock;
+  std::array<HalfEdge, 2> out{};
+  std::array<HalfEdge, 2> in{};
+  std::uint8_t out_count = 0;
+  std::uint8_t in_count = 0;
+};
+
+/// Bookkeeping for one thread of the computation.
+struct ThreadInfo {
+  NodeId first_node = kInvalidNode;
+  NodeId last_node = kInvalidNode;
+  /// Thread that spawned this one (kInvalidThread for the main thread).
+  ThreadId parent = kInvalidThread;
+  /// The fork node at which this thread was spawned (kInvalidNode for main).
+  NodeId fork_node = kInvalidNode;
+  /// Number of nodes in the thread.
+  std::uint32_t length = 0;
+};
+
+/// Immutable-after-construction computation DAG with the paper's node/edge
+/// vocabulary. Construction happens through GraphBuilder.
+class Graph {
+ public:
+  // ---- sizes ----
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_threads() const { return threads_.size(); }
+  std::size_t num_edges() const;
+
+  // ---- node access ----
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  NodeId root() const { return 0; }
+  NodeId final_node() const { return final_; }
+
+  ThreadId thread_of(NodeId id) const { return nodes_[id].thread; }
+  BlockId block_of(NodeId id) const { return nodes_[id].block; }
+
+  /// Total in-degree including super-final extra predecessors.
+  std::size_t in_degree(NodeId id) const;
+  std::size_t out_degree(NodeId id) const { return nodes_[id].out_count; }
+
+  // ---- node kind predicates (paper terminology) ----
+  /// A fork has two out-edges: a continuation edge (to the parent thread's
+  /// next node, its "right child") and a future edge (to the first node of
+  /// the spawned thread, its "left child").
+  bool is_fork(NodeId id) const;
+  /// A touch has an incoming touch edge. (The paper does not distinguish
+  /// touch nodes from join nodes; neither do we.)
+  bool is_touch(NodeId id) const;
+  /// A future parent is a node with an outgoing touch edge.
+  bool is_future_parent(NodeId id) const;
+
+  /// For a fork: the first node of the spawned future thread.
+  NodeId fork_left_child(NodeId fork) const;
+  /// For a fork: the continuation of the parent thread.
+  NodeId fork_right_child(NodeId fork) const;
+  /// For a touch: the predecessor reached by the incoming touch edge.
+  NodeId future_parent_of(NodeId touch) const;
+  /// For a touch: the predecessor in the same thread (continuation edge).
+  NodeId local_parent_of(NodeId touch) const;
+  /// For a touch: the thread that computes the touched future, i.e. the
+  /// thread of its future parent.
+  ThreadId future_thread_of(NodeId touch) const;
+  /// For a touch: the fork at which its future thread was spawned
+  /// ("corresponding fork"). kInvalidNode if the future thread is main.
+  NodeId corresponding_fork_of(NodeId touch) const;
+
+  // ---- threads ----
+  const ThreadInfo& thread_info(ThreadId t) const { return threads_[t]; }
+  /// All touch nodes whose future parent lies in thread t ("touches of t").
+  std::vector<NodeId> touches_of_thread(ThreadId t) const;
+
+  // ---- enumeration ----
+  /// All touch nodes in construction order (excludes the final node's
+  /// super-final in-edges; see num_super_final_edges).
+  const std::vector<NodeId>& touch_nodes() const { return touch_nodes_; }
+  /// All fork nodes in construction order.
+  const std::vector<NodeId>& fork_nodes() const { return fork_nodes_; }
+
+  // ---- super final node (Section 6.2) ----
+  bool has_super_final() const { return !super_final_preds_.empty(); }
+  /// Extra predecessors of the final node beyond its two slots (each is the
+  /// last node of some thread, connected by a touch edge).
+  const std::vector<NodeId>& super_final_preds() const {
+    return super_final_preds_;
+  }
+
+  // ---- roles ----
+  /// Generators tag nodes with string roles ("w", "u[3]", ...) so schedule
+  /// controllers can script the executions in the paper's proofs by role.
+  void set_role(NodeId id, const std::string& role);
+  /// Node carrying the role, or kInvalidNode.
+  NodeId node_by_role(const std::string& role) const;
+  /// Role of a node, or empty string.
+  const std::string& role_of(NodeId id) const;
+  /// All role assignments (role → node), for controllers that organize
+  /// scripted schedules around role families.
+  const std::unordered_map<std::string, NodeId>& all_roles() const {
+    return role_to_node_;
+  }
+
+  /// Structural validation of all the model conventions listed at the top of
+  /// this header. Throws wsf::CheckError with a description on violation.
+  void validate() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId add_node(ThreadId thread, BlockId block);
+  void add_edge(NodeId from, NodeId to, EdgeKind kind);
+  /// Registers an extra predecessor of the final node (super-final edge).
+  void add_super_final_edge(NodeId from);
+
+  std::vector<Node> nodes_;
+  std::vector<ThreadInfo> threads_;
+  std::vector<NodeId> touch_nodes_;
+  std::vector<NodeId> fork_nodes_;
+  std::vector<NodeId> super_final_preds_;
+  NodeId final_ = kInvalidNode;
+
+  std::unordered_map<std::string, NodeId> role_to_node_;
+  std::unordered_map<NodeId, std::string> node_to_role_;
+};
+
+}  // namespace wsf::core

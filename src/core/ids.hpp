@@ -1,0 +1,31 @@
+// Fundamental identifier types for the computation-DAG model (Section 2 of
+// the paper). Kept in one tiny header so every layer shares the same vocab.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wsf::core {
+
+/// Index of a node within a Graph. Nodes are created in construction order;
+/// NodeId 0 is always the root.
+using NodeId = std::uint32_t;
+
+/// Index of a thread (maximal continuation chain). ThreadId 0 is always the
+/// main thread (root → final node).
+using ThreadId = std::uint32_t;
+
+/// Index of a simulated processor.
+using ProcId = std::uint32_t;
+
+/// Identifier of the memory block accessed by a node; the model lets each
+/// instruction access at most one block (Section 3).
+using BlockId = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+/// A node with kNoBlock performs no memory access.
+inline constexpr BlockId kNoBlock = -1;
+
+}  // namespace wsf::core

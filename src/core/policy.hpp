@@ -1,0 +1,34 @@
+// Fork scheduling policy (Section 3 / Section 5 of the paper).
+//
+// After executing a fork, a parsimonious work-stealing processor executes one
+// child and pushes the other onto the bottom of its deque. The paper's second
+// contribution is that for structured computations the *future thread first*
+// choice gives provably good cache locality (Theorem 8) while *parent thread
+// first* can be as bad as unstructured futures (Theorem 10).
+#pragma once
+
+#include <string>
+
+namespace wsf::core {
+
+enum class ForkPolicy {
+  /// Execute the spawned future thread (the fork's left child); push the
+  /// parent continuation. This is "work-first" in Cilk terminology and the
+  /// policy the paper recommends.
+  FutureFirst,
+  /// Continue the parent thread (the fork's right child); push the future
+  /// task. This is "help-first" and the policy Theorem 10 shows can be bad.
+  ParentFirst,
+};
+
+inline const char* to_string(ForkPolicy p) {
+  return p == ForkPolicy::FutureFirst ? "future-first" : "parent-first";
+}
+
+inline ForkPolicy fork_policy_from_string(const std::string& s) {
+  if (s == "future-first" || s == "future" || s == "work-first")
+    return ForkPolicy::FutureFirst;
+  return ForkPolicy::ParentFirst;
+}
+
+}  // namespace wsf::core

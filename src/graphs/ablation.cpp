@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace wsf::graphs {
+
+// Declared in generators.hpp (ablation section).
+GeneratedDag unstructured_mix(std::uint32_t pairs, double unstructured_frac,
+                              std::uint32_t delay, std::uint64_t seed) {
+  WSF_REQUIRE(pairs >= 1, "need at least one producer/consumer pair");
+  WSF_REQUIRE(unstructured_frac >= 0.0 && unstructured_frac <= 1.0,
+              "fraction must be in [0,1]");
+  core::GraphBuilder b;
+  support::Xoshiro256 rng(seed);
+  const auto main = b.main_thread();
+
+  // Decide per pair whether its consumer is forked BEFORE the producer
+  // (Figure 3 shape — unstructured) or the touch happens in the main thread
+  // after the producer's fork (Figure 4 shape — structured).
+  std::vector<char> early(pairs);
+  std::vector<core::ThreadId> consumer(pairs, core::kInvalidThread);
+  for (std::uint32_t i = 0; i < pairs; ++i)
+    early[i] = rng.chance(unstructured_frac) ? 1 : 0;
+
+  // Phase 1: fork the early (unstructured) consumers; their bodies are
+  // completed in phase 3 once the producers exist.
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    if (!early[i]) continue;
+    const auto fk = b.fork(main, core::kNoBlock,
+                           "cfork[" + std::to_string(i) + "]",
+                           core::kNoBlock, "x[" + std::to_string(i) + "]");
+    consumer[i] = fk.future_thread;
+  }
+
+  // Phase 2: delay chain, then the producers.
+  for (std::uint32_t d = 0; d < delay; ++d) b.step(main);
+  std::vector<core::ThreadId> producer(pairs);
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    const auto fk = b.fork(main, core::kNoBlock,
+                           "u[" + std::to_string(i) + "]");
+    b.step(fk.future_thread);  // producer body
+    producer[i] = fk.future_thread;
+  }
+  b.step(main, core::kNoBlock, "w");
+
+  // Phase 3: attach the touches. Early consumers touch inside their own
+  // thread (checked before the producer's fork under a thieving schedule);
+  // structured pairs touch in the main thread.
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    if (early[i]) {
+      b.touch(consumer[i], producer[i], core::kNoBlock,
+              "v[" + std::to_string(i) + "]");
+      b.touch(main, consumer[i], core::kNoBlock,
+              "join[" + std::to_string(i) + "]");
+    } else {
+      b.touch(main, producer[i], core::kNoBlock,
+              "v[" + std::to_string(i) + "]");
+    }
+  }
+
+  const bool any_early = std::any_of(early.begin(), early.end(),
+                                     [](char c) { return c != 0; });
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "unstructured-mix";
+  d.notes = "ablation (paper §7): fraction " +
+            std::to_string(unstructured_frac) +
+            " of consumers forked before their producers (Figure 3 shape)";
+  d.expect = {.structured = any_early ? 0 : 1,
+              .single_touch = any_early ? 0 : 1,
+              .local_touch = any_early ? 0 : 1,
+              .fork_join = -1,
+              .single_touch_super = any_early ? 0 : 1,
+              .local_touch_super = any_early ? 0 : 1};
+  return d;
+}
+
+}  // namespace wsf::graphs

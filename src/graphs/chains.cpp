@@ -1,0 +1,99 @@
+#include <vector>
+
+#include "graphs/detail.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+
+namespace detail {
+
+void emit_future_chain(core::GraphBuilder& b, core::ThreadId host,
+                       std::uint32_t m, std::uint32_t rest_len,
+                       std::size_t cache_lines, const std::string& prefix) {
+  WSF_REQUIRE(m >= 1, "future_chain needs at least one link");
+  const auto C = static_cast<core::BlockId>(cache_lines);
+  const core::BlockId poison = cache_lines > 0 ? C + 1 : core::kNoBlock;
+
+  auto ascending = [&] {  // blocks 1…C
+    std::vector<core::BlockId> v;
+    for (core::BlockId i = 1; i <= C; ++i) v.push_back(i);
+    return v;
+  };
+  auto descending = [&] {  // blocks C…1
+    std::vector<core::BlockId> v;
+    for (core::BlockId i = C; i >= 1; --i) v.push_back(i);
+    return v;
+  };
+  auto plain = [&](std::uint32_t len) {
+    return std::vector<core::BlockId>(std::max<std::uint32_t>(len, 1),
+                                      core::kNoBlock);
+  };
+
+  // Forks f_1 … f_m in the host thread; each creates t_j's first node.
+  std::vector<core::ThreadId> t(m);
+  for (std::uint32_t j = 0; j < m; ++j) {
+    // The future thread's first node is the head of t_1's body chain or of
+    // t_j's start chain; blocks continue below.
+    const core::BlockId first_block =
+        cache_lines > 0 ? (j == 0 ? core::BlockId{1} : C) : core::kNoBlock;
+    const auto fk =
+        b.fork(host, poison, prefix + "f[" + std::to_string(j + 1) + "]",
+               first_block, prefix + "s[" + std::to_string(j + 1) + "]");
+    t[j] = fk.future_thread;
+  }
+  b.step(host, core::kNoBlock, prefix + "g");
+
+  // t_1 body: the fork already created its first node (block 1); extend.
+  if (cache_lines > 0) {
+    for (core::BlockId i = 2; i <= C; ++i) b.step(t[0], i);
+  } else {
+    for (std::uint32_t i = 1; i < std::max<std::uint32_t>(rest_len, 1); ++i)
+      b.step(t[0]);
+  }
+  b.set_role(t[0], prefix + "r[1]");
+
+  // t_j (j >= 2): start chain (first node exists), touch of t_{j-1}, rest.
+  for (std::uint32_t j = 1; j < m; ++j) {
+    if (cache_lines > 0) {
+      for (core::BlockId i = C - 1; i >= 1; --i) b.step(t[j], i);
+    }
+    b.touch(t[j], t[j - 1], core::kNoBlock,
+            prefix + "x[" + std::to_string(j) + "]");
+    if (cache_lines > 0) {
+      b.chain(t[j], ascending());
+    } else {
+      b.chain(t[j], plain(rest_len));
+    }
+    b.set_role(t[j], prefix + "r[" + std::to_string(j + 1) + "]");
+  }
+  (void)descending;  // documented layout; descending is inlined above
+
+  // The host touches the last link.
+  b.touch(host, t[m - 1], core::kNoBlock,
+          prefix + "x[" + std::to_string(m) + "]");
+}
+
+}  // namespace detail
+
+GeneratedDag future_chain(std::uint32_t m, std::uint32_t rest_len,
+                          std::size_t cache_lines) {
+  core::GraphBuilder b;
+  detail::emit_future_chain(b, b.main_thread(), m, rest_len, cache_lines, "");
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "future-chain";
+  d.notes = "Figure 5(b) passing chain, m=" + std::to_string(m) +
+            (cache_lines ? ", C=" + std::to_string(cache_lines) : "");
+  // With a single link the chain degenerates to one locally-touched future.
+  const int local = m == 1 ? 1 : 0;
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = local,
+              .fork_join = local,
+              .single_touch_super = 1,
+              .local_touch_super = local};
+  return d;
+}
+
+}  // namespace wsf::graphs

@@ -1,0 +1,29 @@
+// Internal helpers shared by the generator translation units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace wsf::graphs::detail {
+
+/// Appends a future-passing chain gadget (the certified-single-touch
+/// realization of the paper's Figure 6(a); see generators.hpp) to thread
+/// `host`. Roles are emitted with the given prefix: "<p>f[j]", "<p>g",
+/// "<p>x[j]", "<p>s[j]", "<p>r[j]".
+///
+/// Layout (m forks, host thread H):
+///   H:   … → f_1 → f_2 → … → f_m → g → x_m
+///   t_1: body chain            (touch edge → x_1 in t_2)
+///   t_j: start chain → x_{j-1} → rest chain   (touch edge → x_j in t_{j+1})
+///
+/// With cache_lines = C > 0: f_j access block C+1, t_1's body and every
+/// rest chain ascend blocks 1…C, every start chain descends C…1 — the
+/// palindrome that keeps the sequential execution at O(m + C) misses while
+/// a stolen f-side thrashes with Θ(m·C).
+void emit_future_chain(core::GraphBuilder& b, core::ThreadId host,
+                       std::uint32_t m, std::uint32_t rest_len,
+                       std::size_t cache_lines, const std::string& prefix);
+
+}  // namespace wsf::graphs::detail

@@ -1,0 +1,48 @@
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+
+GeneratedDag fig3(std::uint32_t delay) {
+  WSF_REQUIRE(delay >= 1, "fig3 needs a delay chain");
+  core::GraphBuilder b;
+  const auto main = b.main_thread();
+
+  // The root forks the *producer* side T_L: a delay chain followed by two
+  // forks u1, u2 spawning the future threads Tf1, Tf2. The main thread
+  // continues to x and immediately touches both futures — before the forks
+  // that spawn them have run. This is the Figure 3 shape: a thief that
+  // steals x checks v1/v2 before u1/u2 execute.
+  const auto tl = b.fork(main, core::kNoBlock, "root-fork", core::kNoBlock,
+                         "d[1]");
+  const auto left = tl.future_thread;
+  for (std::uint32_t i = 1; i < delay; ++i)
+    b.step(left, core::kNoBlock, "d[" + std::to_string(i + 1) + "]");
+  const auto f1 = b.fork(left, core::kNoBlock, "u1");
+  b.step(f1.future_thread);  // Tf1 body
+  const auto f2 = b.fork(left, core::kNoBlock, "u2");
+  b.step(f2.future_thread);  // Tf2 body
+  b.step(left, core::kNoBlock, "lst");
+
+  b.step(main, core::kNoBlock, "x");
+  b.touch(main, f1.future_thread, core::kNoBlock, "v1");
+  b.touch(main, f2.future_thread, core::kNoBlock, "v2");
+  b.touch(main, left, core::kNoBlock, "je");
+
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig3";
+  d.notes = "Figure 3: unstructured futures — the touches v1, v2 are "
+            "checked before their future threads are spawned when a thief "
+            "steals x";
+  d.expect = {.structured = 0,
+              .single_touch = 0,
+              .local_touch = 0,
+              .fork_join = 0,
+              .single_touch_super = 0,
+              .local_touch_super = 0};
+  return d;
+}
+
+}  // namespace wsf::graphs

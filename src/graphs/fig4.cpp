@@ -1,0 +1,41 @@
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+
+GeneratedDag fig4(std::uint32_t delay, bool lifo_touch_order) {
+  WSF_REQUIRE(delay >= 1, "fig4 needs a delay chain");
+  core::GraphBuilder b;
+  const auto main = b.main_thread();
+  for (std::uint32_t i = 0; i < delay; ++i)
+    b.step(main, core::kNoBlock, "d[" + std::to_string(i + 1) + "]");
+  const auto f1 = b.fork(main, core::kNoBlock, "u1");
+  b.step(f1.future_thread);
+  const auto f2 = b.fork(main, core::kNoBlock, "u2");
+  b.step(f2.future_thread);
+  b.step(main, core::kNoBlock, "w");
+  if (lifo_touch_order) {
+    b.touch(main, f2.future_thread, core::kNoBlock, "v2");
+    b.touch(main, f1.future_thread, core::kNoBlock, "v1");
+  } else {
+    b.touch(main, f1.future_thread, core::kNoBlock, "v1");
+    b.touch(main, f2.future_thread, core::kNoBlock, "v2");
+  }
+
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig4";
+  d.notes = "Figure 4: the structured counterpart of Figure 3 — touches "
+            "live after the forks, so they can never be checked before "
+            "their future threads are spawned";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 1,
+              .fork_join = lifo_touch_order ? 1 : 0,
+              .single_touch_super = 1,
+              .local_touch_super = 1};
+  return d;
+}
+
+}  // namespace wsf::graphs

@@ -1,0 +1,83 @@
+#include <algorithm>
+
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+
+GeneratedDag fig5a(const std::vector<std::uint32_t>& touch_order) {
+  const auto count = static_cast<std::uint32_t>(touch_order.size());
+  WSF_REQUIRE(count >= 1, "fig5a needs at least one future");
+  {
+    std::vector<std::uint32_t> sorted(touch_order);
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < count; ++i)
+      WSF_REQUIRE(sorted[i] == i,
+                  "touch_order must be a permutation of 0.." << count - 1);
+  }
+  core::GraphBuilder b;
+  const auto main = b.main_thread();
+  std::vector<core::ThreadId> futures(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto fk = b.fork(main, core::kNoBlock,
+                           "create[" + std::to_string(i) + "]");
+    b.step(fk.future_thread);  // the future's computation
+    futures[i] = fk.future_thread;
+  }
+  b.step(main, core::kNoBlock, "w");
+  for (std::uint32_t idx : touch_order)
+    b.touch(main, futures[idx], core::kNoBlock,
+            "touch[" + std::to_string(idx) + "]");
+
+  // Fork-join programs can only touch in LIFO (reverse-creation) order.
+  bool lifo = true;
+  for (std::uint32_t i = 0; i < count; ++i)
+    if (touch_order[i] != count - 1 - i) lifo = false;
+
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig5a";
+  d.notes = "Figure 5(a): futures touched in a chosen (e.g. priority) "
+            "order — structured single-touch for every order, fork-join "
+            "only for the reverse order";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 1,
+              .fork_join = lifo ? 1 : 0,
+              .single_touch_super = 1,
+              .local_touch_super = 1};
+  return d;
+}
+
+GeneratedDag fig5b(std::uint32_t body_len) {
+  WSF_REQUIRE(body_len >= 1, "fig5b needs a future body");
+  core::GraphBuilder b;
+  const auto main = b.main_thread();
+  // MethodB: Future x = some computation;
+  const auto fx = b.fork(main, core::kNoBlock, "create-x");
+  for (std::uint32_t i = 0; i < body_len; ++i) b.step(fx.future_thread);
+  // Future y = MethodC(x): x is passed to the new thread...
+  const auto fc = b.fork(main, core::kNoBlock, "create-y");
+  // ...which touches it (MethodC's f.touch()).
+  b.touch(fc.future_thread, fx.future_thread, core::kNoBlock, "touch-x");
+  for (std::uint32_t i = 0; i < body_len; ++i) b.step(fc.future_thread);
+  // The main thread finally touches y.
+  b.step(main);
+  b.touch(main, fc.future_thread, core::kNoBlock, "touch-y");
+
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig5b";
+  d.notes = "Figure 5(b): a future passed to another thread that touches "
+            "it — structured single-touch, not local-touch, not fork-join";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 0,
+              .fork_join = 0,
+              .single_touch_super = 1,
+              .local_touch_super = 0};
+  return d;
+}
+
+}  // namespace wsf::graphs

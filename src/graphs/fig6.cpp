@@ -1,0 +1,107 @@
+#include <string>
+#include <vector>
+
+#include "graphs/detail.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+namespace {
+
+/// Appends a fig6b spine to `host`: a *nested* chain of k spine threads,
+/// where each spine fork R_j spawns the next spine level as its future
+/// thread and keeps gadget j as its continuation. Under future-first a
+/// processor dives down the spine pushing the k gadget starts into its
+/// deque, so the gadget starts (f[1] forks) are the stealable tops and every
+/// sleeping gadget owner's deque exposes its f[2] directly — which is what
+/// lets Fig6Controller's rescue priority run the paper's 3-processor
+/// rotation without deadlock. Layout per level j (1-based):
+///   th[j-1]: … → R_j (fork th[j]) → gadget_j (future chain) → q_j (touch
+///   of th[j]) → [becomes th[j-1]'s tail]
+/// Roles get "<prefix>sg[j]." prefixes.
+void emit_fig6b(core::GraphBuilder& b, core::ThreadId host, std::uint32_t k,
+                std::uint32_t m, std::size_t cache_lines,
+                const std::string& prefix) {
+  WSF_REQUIRE(k >= 1, "fig6b needs at least one gadget");
+  std::vector<core::ThreadId> th(k + 1);
+  th[0] = host;
+  for (std::uint32_t j = 1; j <= k; ++j) {
+    const auto fk = b.fork(th[j - 1], core::kNoBlock,
+                           prefix + "R[" + std::to_string(j) + "]");
+    th[j] = fk.future_thread;
+  }
+  b.step(th[k], core::kNoBlock, prefix + "deep");
+  // Bottom-up so every touch targets a completed thread.
+  for (std::uint32_t j = k; j >= 1; --j) {
+    detail::emit_future_chain(b, th[j - 1], m, /*rest_len=*/1, cache_lines,
+                              prefix + "sg[" + std::to_string(j) + "].");
+    b.touch(th[j - 1], th[j], core::kNoBlock,
+            prefix + "q[" + std::to_string(j) + "]");
+  }
+}
+
+/// Binary fork tree distributing `count` fig6b spines over future threads;
+/// joins fork-join style.
+void emit_tree(core::GraphBuilder& b, core::ThreadId tid, std::uint32_t lo,
+               std::uint32_t hi, std::uint32_t k, std::uint32_t m,
+               std::size_t cache_lines) {
+  if (lo == hi) {
+    emit_fig6b(b, tid, k, m, cache_lines,
+               "grp[" + std::to_string(lo) + "].");
+    return;
+  }
+  const std::uint32_t mid = lo + (hi - lo) / 2;
+  const auto fk = b.fork(tid);
+  emit_tree(b, fk.future_thread, lo, mid, k, m, cache_lines);
+  emit_tree(b, tid, mid + 1, hi, k, m, cache_lines);
+  b.touch(tid, fk.future_thread);
+}
+
+}  // namespace
+
+GeneratedDag fig6a(std::uint32_t m, std::size_t cache_lines) {
+  GeneratedDag d = future_chain(m, /*rest_len=*/1, cache_lines);
+  d.name = "fig6a";
+  d.notes = "Theorem 9 gadget (paper Fig. 6(a)): one steal costs Θ(m) "
+            "deviations and Θ(m·C) additional misses under future-first";
+  return d;
+}
+
+GeneratedDag fig6b(std::uint32_t k, std::uint32_t m,
+                   std::size_t cache_lines) {
+  core::GraphBuilder b;
+  emit_fig6b(b, b.main_thread(), k, m, cache_lines, "");
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig6b";
+  d.notes = "Theorem 9 spine (paper Fig. 6(b)): k gadget dances with 3 "
+            "processors give Θ(k·m) deviations, span Θ(k + m)";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 0,
+              .fork_join = 0,
+              .single_touch_super = 1,
+              .local_touch_super = 0};
+  return d;
+}
+
+GeneratedDag fig6c(std::uint32_t groups, std::uint32_t k, std::uint32_t m,
+                   std::size_t cache_lines) {
+  WSF_REQUIRE(groups >= 1, "fig6c needs at least one group");
+  core::GraphBuilder b;
+  emit_tree(b, b.main_thread(), 1, groups, k, m, cache_lines);
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig6c";
+  d.notes = "Theorem 9 composition (paper Fig. 6(c)): `groups` parallel "
+            "fig6b spines; 3·groups processors incur Ω(P·T∞²) deviations";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 0,
+              .fork_join = 0,
+              .single_touch_super = 1,
+              .local_touch_super = 0};
+  return d;
+}
+
+}  // namespace wsf::graphs

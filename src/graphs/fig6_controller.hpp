@@ -1,0 +1,86 @@
+// Adversarial schedule controller for the Theorem 9 lower-bound DAGs
+// (fig6a / fig6b / fig6c). Reproduces the paper's executions generically by
+// reacting to the role families emitted by the future-chain gadgets:
+//
+//   * a processor that executes a gadget's first fork "…f[1]" goes to sleep
+//     holding the first link's body (it becomes the gadget's *owner*);
+//   * any free processor preferentially steals a deque top tagged "…f[2]"
+//     (the gadget's stolen fork chain) and runs the f-side solo;
+//   * when the f-side reaches "…g", the owner wakes and replays the t-side,
+//     incurring Θ(m) deviations per gadget (Θ(m·C) extra misses with cache
+//     annotations).
+//
+// With fig6b/fig6c compositions and 3 (resp. 3·groups) processors, the pool
+// self-organizes into the paper's rotation: finished owners steal the next
+// spine fork, finished f-thieves free the next owner.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sched/controller.hpp"
+#include "sched/simulator.hpp"
+
+namespace wsf::graphs {
+
+class Fig6Controller : public sched::ScheduleController {
+ public:
+  void on_start(const sched::Simulator& sim) override {
+    asleep_.assign(sim.num_procs(), 0);
+    const auto& roles = sim.graph().all_roles();
+    for (const auto& [role, node] : roles) {
+      if (ends_with(role, "f[1]")) {
+        // Gadget key = everything before the final "f[1]".
+        sleep_at_[node] = role.substr(0, role.size() - 4);
+      } else if (ends_with(role, "f[2]")) {
+        f2_nodes_.insert(node);
+      } else if (role == "g" || ends_with(role, ".g")) {
+        wake_at_[node] =
+            role.size() == 1 ? std::string() : role.substr(0, role.size() - 1);
+      }
+    }
+  }
+
+  bool awake(const sched::Simulator&, core::ProcId p) override {
+    return !asleep_[p];
+  }
+
+  core::ProcId pick_victim(const sched::Simulator& sim,
+                           core::ProcId thief) override {
+    core::ProcId fallback = thief;
+    for (core::ProcId q = 0; q < sim.num_procs(); ++q) {
+      if (q == thief || sim.deque_empty(q)) continue;
+      if (f2_nodes_.count(sim.deque_of(q).front())) return q;
+      if (fallback == thief) fallback = q;
+    }
+    return fallback;
+  }
+
+  void on_execute(const sched::Simulator&, core::ProcId p,
+                  core::NodeId v) override {
+    if (auto it = sleep_at_.find(v); it != sleep_at_.end()) {
+      asleep_[p] = 1;
+      owner_[it->second] = p;
+      return;
+    }
+    if (auto it = wake_at_.find(v); it != wake_at_.end()) {
+      if (auto o = owner_.find(it->second); o != owner_.end())
+        asleep_[o->second] = 0;
+    }
+  }
+
+ private:
+  static bool ends_with(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  }
+
+  std::vector<char> asleep_;
+  std::unordered_map<core::NodeId, std::string> sleep_at_;  // node → gadget
+  std::unordered_map<core::NodeId, std::string> wake_at_;   // node → gadget
+  std::unordered_map<std::string, core::ProcId> owner_;     // gadget → owner
+  std::unordered_set<core::NodeId> f2_nodes_;
+};
+
+}  // namespace wsf::graphs

@@ -1,0 +1,106 @@
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+namespace detail7 {
+
+/// Appends the Figure 7(a) tail to `host`:
+///   u_t(fork {s}) → w → [touch of `carried` if valid] → x_1…x_n (forks of
+///   the Z_i block-scan threads) → v_t (touch of {s}) → y_n … y_1.
+/// Under parent-first, whether {s} is executed before or after the x_i
+/// pushes decides cheap vs thrashing y/Z alternation.
+void emit_fig7a_tail(core::GraphBuilder& b, core::ThreadId host,
+                     std::uint32_t n, std::size_t cache_lines,
+                     core::ThreadId carried, const std::string& prefix) {
+  WSF_REQUIRE(n >= 1, "fig7a tail needs at least one Z thread");
+  const auto C = static_cast<core::BlockId>(cache_lines);
+  const core::BlockId m1 = cache_lines > 0 ? 1 : core::kNoBlock;
+  const core::BlockId mC1 = cache_lines > 0 ? C + 1 : core::kNoBlock;
+
+  const auto s = b.fork(host, core::kNoBlock, prefix + "ut", core::kNoBlock,
+                        prefix + "s");
+  b.step(host, core::kNoBlock, prefix + "w");
+  if (carried != core::kInvalidThread)
+    b.touch(host, carried, core::kNoBlock, prefix + "vin");
+
+  std::vector<core::ThreadId> z(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto fk = b.fork(host, m1, prefix + "x[" + std::to_string(i + 1) +
+                                        "]",
+                           m1);
+    z[i] = fk.future_thread;
+    if (cache_lines > 0)
+      for (core::BlockId j = 2; j <= C; ++j) b.step(z[i], j);
+  }
+  // Spacer: the last x_n fork's right child may not be the touch v.
+  b.step(host, core::kNoBlock, prefix + "pv");
+  b.touch(host, s.future_thread, core::kNoBlock, prefix + "v");
+  for (std::uint32_t i = n; i >= 1; --i) {
+    b.touch(host, z[i - 1], mC1, prefix + "y[" + std::to_string(i) + "]");
+  }
+}
+
+}  // namespace detail7
+
+GeneratedDag fig7a(std::uint32_t n, std::size_t cache_lines) {
+  core::GraphBuilder b;
+  // A root spacer before the tail keeps the first fork's children clean.
+  b.step(b.main_thread());
+  detail7::emit_fig7a_tail(b, b.main_thread(), n, cache_lines,
+                           core::kInvalidThread, "");
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig7a";
+  d.notes = "Figure 7(a)/Figure 2: under parent-first, stealing {s} makes "
+            "the touch v fire early and the y/Z alternation thrash: n "
+            "deviations, Ω(n·C) additional misses";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 1,
+              .fork_join = 0,
+              .single_touch_super = 1,
+              .local_touch_super = 1};
+  return d;
+}
+
+GeneratedDag fig7b(std::uint32_t k, std::uint32_t n,
+                   std::size_t cache_lines) {
+  if (k % 2 == 1) ++k;  // the paper's tail argument needs even k
+  WSF_REQUIRE(k >= 2, "fig7b needs at least two stages");
+  core::GraphBuilder b;
+  const auto main = b.main_thread();
+  b.step(main);
+  // r forks the chain's first single-node future thread {s_1}.
+  auto prev =
+      b.fork(main, core::kNoBlock, "r", core::kNoBlock, "s[1]").future_thread;
+  // Stages 1 … k-1: u_i forks {s_{i+1}}, w_i, v_i touches {s_i}.
+  for (std::uint32_t i = 1; i < k; ++i) {
+    const auto next = b.fork(main, core::kNoBlock,
+                             "u[" + std::to_string(i) + "]", core::kNoBlock,
+                             "s[" + std::to_string(i + 1) + "]");
+    b.step(main, core::kNoBlock, "w[" + std::to_string(i) + "]");
+    b.touch(main, prev, core::kNoBlock, "v[" + std::to_string(i) + "]");
+    prev = next.future_thread;
+  }
+  // Stage k is the Figure 7(a) tail, with v_k = the carried touch of {s_k}.
+  detail7::emit_fig7a_tail(b, main, n, cache_lines, prev, "tail.");
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig7b";
+  d.notes = "Figure 7(b): one steal of s_1 flips every stage's w_i/s_i "
+            "parity and delivers the 7(a) tail in the deviated state: Ω(T∞) "
+            "deviations, Ω(C·T∞) additional misses from a single steal";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 1,
+              .fork_join = 0,
+              .single_touch_super = 1,
+              .local_touch_super = 1};
+  return d;
+}
+
+}  // namespace wsf::graphs

@@ -1,0 +1,80 @@
+#include <string>
+
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+
+// Defined in fig7.cpp.
+namespace detail7 {
+void emit_fig7a_tail(core::GraphBuilder& b, core::ThreadId host,
+                     std::uint32_t n, std::size_t cache_lines,
+                     core::ThreadId carried, const std::string& prefix);
+}  // namespace detail7
+
+namespace {
+
+/// One branching parity stage (paper Figure 8): the branch carries a future
+/// to touch; it forks two fresh single-node futures (at u and x), touches
+/// the carried one (at v), then splits into two sub-branches that carry the
+/// fresh futures. Leaves end in the Figure 7(a) tail.
+void emit_branch(core::GraphBuilder& b, core::ThreadId tid,
+                 core::ThreadId carried, std::uint32_t depth, std::uint32_t n,
+                 std::size_t cache_lines, const std::string& prefix) {
+  if (depth == 0) {
+    detail7::emit_fig7a_tail(b, tid, n, cache_lines, carried, prefix);
+    return;
+  }
+  const auto fa = b.fork(tid, core::kNoBlock, prefix + "u", core::kNoBlock,
+                         prefix + "su");
+  const auto fx = b.fork(tid, core::kNoBlock, prefix + "x", core::kNoBlock,
+                         prefix + "sx");
+  b.step(tid, core::kNoBlock, prefix + "w");
+  b.touch(tid, carried, core::kNoBlock, prefix + "v");
+  const auto fy = b.fork(tid, core::kNoBlock, prefix + "y");
+  emit_branch(b, fy.future_thread, fa.future_thread, depth - 1, n,
+              cache_lines, prefix + "L.");
+  emit_branch(b, tid, fx.future_thread, depth - 1, n, cache_lines,
+              prefix + "R.");
+  b.touch(tid, fy.future_thread, core::kNoBlock, prefix + "j");
+}
+
+}  // namespace
+
+GeneratedDag fig8(std::uint32_t depth, std::uint32_t n,
+                  std::size_t cache_lines) {
+  core::GraphBuilder b;
+  const auto main = b.main_thread();
+  b.step(main);
+  auto carried =
+      b.fork(main, core::kNoBlock, "r", core::kNoBlock, "s[1]").future_thread;
+  if (depth % 2 == 0) {
+    // The tail's cheap/deviated parity alternates with the number of stages
+    // on a root-to-leaf path (as in Figure 7(b), where k must be even).
+    // Insert one non-branching stage so every path has odd stage count and
+    // the *sequential* execution stays in the cheap state.
+    const auto pad =
+        b.fork(main, core::kNoBlock, "pad.u", core::kNoBlock, "pad.s");
+    b.step(main, core::kNoBlock, "pad.w");
+    b.touch(main, carried, core::kNoBlock, "pad.v");
+    carried = pad.future_thread;
+  }
+  emit_branch(b, main, carried, depth, n, cache_lines, "b.");
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fig8";
+  d.notes = "Figure 8: binary tree of parity stages (t = Θ(2^depth) "
+            "touches); one steal of s[1] under parent-first delivers every "
+            "leaf's 7(a) tail deviated: Ω(t·T∞) deviations, Ω(C·t·T∞) "
+            "additional misses; the sequential execution incurs O(C + t)";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 0,
+              .fork_join = 0,
+              .single_touch_super = 1,
+              .local_touch_super = 0};
+  return d;
+}
+
+}  // namespace wsf::graphs

@@ -1,0 +1,88 @@
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+namespace {
+
+void build_tree(core::GraphBuilder& b, core::ThreadId tid,
+                std::uint32_t depth, std::uint32_t leaf_work) {
+  if (depth == 0) {
+    for (std::uint32_t i = 0; i < leaf_work; ++i) b.step(tid);
+    return;
+  }
+  // Cilk idiom: spawn the left subtree as a future thread, run the right
+  // subtree inline, then join (touch) the spawned child.
+  const auto fk = b.fork(tid);
+  build_tree(b, fk.future_thread, depth - 1, leaf_work);
+  build_tree(b, tid, depth - 1, leaf_work);
+  b.touch(tid, fk.future_thread);
+}
+
+void build_fib(core::GraphBuilder& b, core::ThreadId tid, std::uint32_t n) {
+  if (n < 2) {
+    b.step(tid);
+    return;
+  }
+  const auto fk = b.fork(tid);
+  build_fib(b, fk.future_thread, n - 1);
+  build_fib(b, tid, n - 2);
+  b.touch(tid, fk.future_thread);  // join fib(n-1)
+  b.step(tid);                     // the addition
+}
+
+}  // namespace
+
+GeneratedDag binary_forkjoin_tree(std::uint32_t depth,
+                                  std::uint32_t leaf_work) {
+  WSF_REQUIRE(leaf_work >= 1, "leaves need at least one node");
+  core::GraphBuilder b;
+  build_tree(b, b.main_thread(), depth, leaf_work);
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "forkjoin-tree";
+  d.notes = "perfect binary fork-join tree, depth " + std::to_string(depth);
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 1,
+              .fork_join = 1,
+              .single_touch_super = 1,
+              .local_touch_super = 1};
+  return d;
+}
+
+GeneratedDag fib_dag(std::uint32_t n) {
+  WSF_REQUIRE(n <= 24, "fib DAG grows exponentially; n <= 24");
+  core::GraphBuilder b;
+  build_fib(b, b.main_thread(), n);
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "fib";
+  d.notes = "fib(" + std::to_string(n) + ") spawn/join recursion";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 1,
+              .fork_join = 1,
+              .single_touch_super = 1,
+              .local_touch_super = 1};
+  return d;
+}
+
+GeneratedDag serial_chain(std::size_t length) {
+  WSF_REQUIRE(length >= 1, "chain needs at least one node");
+  core::GraphBuilder b;
+  for (std::size_t i = 1; i < length; ++i) b.step(b.main_thread());
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "serial-chain";
+  d.notes = "single thread, no futures";
+  d.expect = {.structured = 1,
+              .single_touch = 1,
+              .local_touch = 1,
+              .fork_join = 1,
+              .single_touch_super = 1,
+              .local_touch_super = 1};
+  return d;
+}
+
+}  // namespace wsf::graphs

@@ -1,0 +1,31 @@
+// Common result type for the DAG generators: the graph plus the intended
+// structural classification (tests cross-check it against core::classify)
+// and human-readable notes about the construction.
+#pragma once
+
+#include <string>
+
+#include "core/graph.hpp"
+
+namespace wsf::graphs {
+
+/// Tri-state expectation: -1 = unspecified, 0 = must be false, 1 = must be
+/// true. Tests compare against core::classify on every generated graph.
+struct Expectation {
+  int structured = -1;
+  int single_touch = -1;
+  int local_touch = -1;
+  int fork_join = -1;
+  int single_touch_super = -1;
+  int local_touch_super = -1;
+};
+
+struct GeneratedDag {
+  core::Graph graph;
+  std::string name;
+  /// Short description of the construction and its paper reference.
+  std::string notes;
+  Expectation expect;
+};
+
+}  // namespace wsf::graphs

@@ -1,0 +1,78 @@
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+
+GeneratedDag pipeline(std::uint32_t stages, std::uint32_t items,
+                      std::size_t cache_lines) {
+  WSF_REQUIRE(stages >= 1, "pipeline needs at least one producer stage");
+  WSF_REQUIRE(items >= 1, "pipeline needs at least one item");
+  core::GraphBuilder b;
+
+  // Stage threads are nested: stage s-1 forks stage s at its start
+  // (Definition 3: each future thread is touched only by its parent).
+  std::vector<core::ThreadId> stage(stages + 1);
+  stage[0] = b.main_thread();
+  for (std::uint32_t s = 1; s <= stages; ++s) {
+    const auto fk = b.fork(stage[s - 1], core::kNoBlock,
+                           "fork[" + std::to_string(s) + "]");
+    stage[s] = fk.future_thread;
+  }
+  // A fork's right child may not be a touch (model convention), so every
+  // consumer gets a spacer between its stage fork and its first touch.
+  for (std::uint32_t s = 0; s < stages; ++s)
+    b.step(stage[s], core::kNoBlock, "pre[" + std::to_string(s) + "]");
+
+  auto block_of = [&](std::uint32_t s, std::uint32_t i) -> core::BlockId {
+    if (cache_lines == 0) return core::kNoBlock;
+    return static_cast<core::BlockId>((s * items + i) % (cache_lines + 1)) +
+           1;
+  };
+
+  // Producer nodes per stage; built innermost-first so touch edges always
+  // point at existing nodes.
+  std::vector<std::vector<core::NodeId>> produced(stages + 1);
+  for (std::uint32_t i = 0; i < items; ++i) {
+    produced[stages].push_back(
+        b.step(stage[stages], block_of(stages, i),
+               "p[" + std::to_string(stages) + "][" + std::to_string(i) +
+                   "]"));
+  }
+  for (std::int32_t s = static_cast<std::int32_t>(stages) - 1; s >= 0; --s) {
+    const auto su = static_cast<std::uint32_t>(s);
+    for (std::uint32_t i = 0; i < items; ++i) {
+      // Consume item i from the downstream stage, then produce our own
+      // (the main thread, stage 0, only consumes).
+      b.touch_node(stage[su], produced[su + 1][i], core::kNoBlock,
+                   "t[" + std::to_string(su) + "][" + std::to_string(i) +
+                       "]");
+      if (su >= 1) {
+        produced[su].push_back(
+            b.step(stage[su], block_of(su, i),
+                   "p[" + std::to_string(su) + "][" + std::to_string(i) +
+                       "]"));
+      }
+    }
+  }
+
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "pipeline";
+  d.notes = "local-touch pipeline (Definition 3), " +
+            std::to_string(stages) + " producer stages x " +
+            std::to_string(items) + " items; multi-future producer threads";
+  const int single = items == 1 ? 1 : 0;
+  d.expect = {.structured = 1,
+              .single_touch = single,
+              .local_touch = 1,
+              .fork_join = single,
+              .single_touch_super = single,
+              .local_touch_super = 1};
+  return d;
+}
+
+}  // namespace wsf::graphs

@@ -1,0 +1,230 @@
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace wsf::graphs {
+namespace {
+
+using core::GraphBuilder;
+using core::ThreadId;
+
+core::BlockId random_block(support::Xoshiro256& rng,
+                           const RandomDagParams& p) {
+  if (p.blocks == 0) return core::kNoBlock;
+  return static_cast<core::BlockId>(rng.below(p.blocks)) + 1;
+}
+
+/// Recursive single-touch builder. Invariants that keep the result a
+/// structured single-touch computation (Definition 2) by construction:
+///   * every spawned thread is either touched by its owner later in the
+///     owning thread (any order — Figure 5(a)), passed to a child spawned
+///     at a LATER fork (Figure 5(b); the touch then happens inside that
+///     child, which is a descendant of the future's fork's right child),
+///     or — when the super-final variant is on — left for the super final
+///     node (Definition 13);
+///   * children are built eagerly and completely at their fork, so a touch
+///     always targets the producer thread's final node.
+struct SingleTouchBuilder {
+  GraphBuilder& b;
+  support::Xoshiro256 rng;
+  const RandomDagParams& p;
+  std::size_t nodes_made = 0;
+
+  void build_thread(ThreadId tid, std::uint32_t depth,
+                    std::optional<ThreadId> must_touch) {
+    std::vector<ThreadId> owned;
+    // The root thread keeps generating until the size target is met;
+    // non-root threads have short random bodies.
+    const bool is_root = depth == 0;
+    const std::uint32_t steps = 2 + static_cast<std::uint32_t>(rng.below(5));
+    bool last_was_fork = false;
+    for (std::uint32_t i = 0;
+         (is_root && nodes_made < p.target_nodes) || i < steps || must_touch;
+         ++i) {
+      if (!is_root && i > 64) break;  // bound non-root thread length
+      const bool may_fork =
+          depth < p.max_depth && nodes_made < p.target_nodes;
+      if (may_fork && rng.chance(p.fork_prob)) {
+        const auto fk = b.fork(tid, random_block(rng, p));
+        nodes_made += 2;
+        std::optional<ThreadId> pass;
+        // Pass either a still-owned future or our own touch obligation to
+        // the child (future forwarding).
+        if (must_touch && rng.chance(p.pass_prob)) {
+          pass = must_touch;
+          must_touch.reset();
+        } else if (!owned.empty() && rng.chance(p.pass_prob)) {
+          const std::size_t idx = rng.below(owned.size());
+          pass = owned[idx];
+          owned.erase(owned.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+        build_thread(fk.future_thread, depth + 1, pass);
+        owned.push_back(fk.future_thread);
+        last_was_fork = true;
+        continue;
+      }
+      if (must_touch && !last_was_fork && rng.chance(0.35)) {
+        b.touch(tid, *must_touch, random_block(rng, p));
+        ++nodes_made;
+        must_touch.reset();
+        last_was_fork = false;
+        continue;
+      }
+      b.step(tid, random_block(rng, p));
+      ++nodes_made;
+      last_was_fork = false;
+    }
+    if (must_touch) {
+      if (last_was_fork) b.step(tid);
+      b.touch(tid, *must_touch, random_block(rng, p));
+      ++nodes_made;
+      last_was_fork = false;
+    }
+    // Touch the owned futures we did not pass on. Optionally leave some for
+    // the super final node (side-effect futures, Definition 13).
+    if (p.shuffle_touch_order) {
+      for (std::size_t i = owned.size(); i > 1; --i) {
+        const std::size_t j = rng.below(i);
+        std::swap(owned[i - 1], owned[j]);
+      }
+    } else {
+      // LIFO (fork-join) order.
+      std::reverse(owned.begin(), owned.end());
+    }
+    for (ThreadId t : owned) {
+      if (p.side_effect_prob > 0 && rng.chance(p.side_effect_prob))
+        continue;  // left untouched; finish_super() collects it
+      if (last_was_fork) {
+        b.step(tid);
+        ++nodes_made;
+      }
+      b.touch(tid, t, random_block(rng, p));
+      ++nodes_made;
+      last_was_fork = false;
+    }
+    if (last_was_fork) {
+      // Never leave a thread's tail at a fork awaiting its right child
+      // (the super-final edge or the owner's touch edge needs a clean tail).
+      b.step(tid);
+      ++nodes_made;
+    }
+  }
+};
+
+/// Recursive local-touch builder (Definition 3): every spawned thread is a
+/// (possibly multi-future) producer whose result nodes are touched by the
+/// spawning thread only, at random later positions.
+struct LocalTouchBuilder {
+  GraphBuilder& b;
+  support::Xoshiro256 rng;
+  const RandomDagParams& p;
+  std::size_t nodes_made = 0;
+
+  void build_thread(ThreadId tid, std::uint32_t depth) {
+    // (producer node, produced-by thread) obligations to touch.
+    std::vector<core::NodeId> obligations;
+    const bool is_root = depth == 0;
+    const std::uint32_t steps = 2 + static_cast<std::uint32_t>(rng.below(6));
+    bool last_was_fork = false;
+    for (std::uint32_t i = 0;
+         (is_root && nodes_made < p.target_nodes) || i < steps; ++i) {
+      const bool may_fork =
+          depth < p.max_depth && nodes_made < p.target_nodes;
+      if (may_fork && rng.chance(p.fork_prob)) {
+        const auto fk = b.fork(tid, random_block(rng, p));
+        nodes_made += 2;
+        // The child produces 1–3 futures: its interior/final result nodes.
+        const auto results =
+            build_producer(fk.future_thread, depth + 1,
+                           1 + static_cast<std::uint32_t>(rng.below(3)));
+        obligations.insert(obligations.end(), results.begin(),
+                           results.end());
+        last_was_fork = true;
+        continue;
+      }
+      if (!obligations.empty() && !last_was_fork && rng.chance(0.4)) {
+        touch_one(tid, obligations);
+        last_was_fork = false;
+        continue;
+      }
+      b.step(tid, random_block(rng, p));
+      ++nodes_made;
+      last_was_fork = false;
+    }
+    while (!obligations.empty()) {
+      if (last_was_fork) {
+        b.step(tid);
+        ++nodes_made;
+        last_was_fork = false;
+      }
+      touch_one(tid, obligations);
+    }
+  }
+
+  void touch_one(ThreadId tid, std::vector<core::NodeId>& obligations) {
+    const std::size_t idx = rng.below(obligations.size());
+    b.touch_node(tid, obligations[idx], random_block(rng, p));
+    ++nodes_made;
+    obligations.erase(obligations.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+  }
+
+  /// Builds a producer thread computing `futures` results; returns the
+  /// producer nodes carrying them (the last one is the thread's tail).
+  std::vector<core::NodeId> build_producer(ThreadId tid, std::uint32_t depth,
+                                           std::uint32_t futures) {
+    build_thread(tid, depth);  // producers may themselves fork and consume
+    std::vector<core::NodeId> results;
+    for (std::uint32_t i = 0; i < futures; ++i) {
+      results.push_back(b.step(tid, random_block(rng, p)));
+      ++nodes_made;
+    }
+    return results;
+  }
+};
+
+}  // namespace
+
+GeneratedDag random_single_touch(const RandomDagParams& params) {
+  core::GraphBuilder b;
+  SingleTouchBuilder builder{b, support::Xoshiro256(params.seed), params};
+  builder.build_thread(b.main_thread(), 0, std::nullopt);
+  GeneratedDag d;
+  const bool super = params.side_effect_prob > 0;
+  d.graph = super ? b.finish_super() : b.finish();
+  d.name = "random-single-touch";
+  d.notes = "random structured single-touch DAG, seed " +
+            std::to_string(params.seed);
+  d.expect = {.structured = super ? -1 : 1,
+              .single_touch = super ? -1 : 1,
+              .local_touch = -1,
+              .fork_join = params.shuffle_touch_order ? -1 : -1,
+              .single_touch_super = 1,
+              .local_touch_super = -1};
+  return d;
+}
+
+GeneratedDag random_local_touch(const RandomDagParams& params) {
+  core::GraphBuilder b;
+  LocalTouchBuilder builder{b, support::Xoshiro256(params.seed), params};
+  builder.build_thread(b.main_thread(), 0);
+  GeneratedDag d;
+  d.graph = b.finish();
+  d.name = "random-local-touch";
+  d.notes = "random structured local-touch DAG, seed " +
+            std::to_string(params.seed);
+  d.expect = {.structured = 1,
+              .single_touch = -1,
+              .local_touch = 1,
+              .fork_join = -1,
+              .single_touch_super = -1,
+              .local_touch_super = 1};
+  return d;
+}
+
+}  // namespace wsf::graphs

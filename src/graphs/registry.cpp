@@ -1,0 +1,64 @@
+#include "graphs/registry.hpp"
+
+#include "graphs/generators.hpp"
+#include "support/check.hpp"
+
+namespace wsf::graphs {
+
+GeneratedDag make_named(const std::string& name, const RegistryParams& p) {
+  if (name == "chain") return serial_chain(p.size);
+  if (name == "forkjoin") return binary_forkjoin_tree(p.size, p.size2);
+  if (name == "fib") return fib_dag(p.size);
+  if (name == "future-chain") return future_chain(p.size, p.size2,
+                                                  p.cache_lines);
+  if (name == "pipeline") return pipeline(p.size, p.size2, p.cache_lines);
+  if (name == "fig2" || name == "fig7a") {
+    GeneratedDag d = fig7a(p.size, p.cache_lines);
+    if (name == "fig2") d.name = "fig2";
+    return d;
+  }
+  if (name == "fig3") return fig3(p.size);
+  if (name == "fig4") return fig4(p.size, /*lifo_touch_order=*/true);
+  if (name == "fig5a") {
+    // A fixed non-LIFO priority order over `size` futures.
+    std::vector<std::uint32_t> order;
+    for (std::uint32_t i = 0; i < p.size; ++i) order.push_back(i);
+    if (order.size() >= 2) std::swap(order.front(), order.back());
+    return fig5a(order);
+  }
+  if (name == "fig5b") return fig5b(p.size);
+  if (name == "fig6a") return fig6a(p.size, p.cache_lines);
+  if (name == "fig6b") return fig6b(p.size, p.size2, p.cache_lines);
+  if (name == "fig6c") return fig6c(p.size2, p.size, p.size, p.cache_lines);
+  if (name == "fig7b") return fig7b(p.size, p.size2, p.cache_lines);
+  if (name == "fig8") return fig8(p.size, p.size2, p.cache_lines);
+  if (name == "unstructured-mix")
+    return unstructured_mix(p.size, 0.5, p.size2, p.seed);
+  if (name == "random-single-touch") {
+    RandomDagParams rp;
+    rp.seed = p.seed;
+    rp.target_nodes = p.size * 50;
+    rp.blocks = p.cache_lines ? p.cache_lines * 2 : 0;
+    return random_single_touch(rp);
+  }
+  if (name == "random-local-touch") {
+    RandomDagParams rp;
+    rp.seed = p.seed;
+    rp.target_nodes = p.size * 50;
+    rp.blocks = p.cache_lines ? p.cache_lines * 2 : 0;
+    return random_local_touch(rp);
+  }
+  WSF_REQUIRE(false, "unknown construction '" << name << "'");
+  return {};
+}
+
+std::vector<std::string> registry_names() {
+  return {"chain",  "forkjoin", "fib",   "future-chain",
+          "pipeline", "fig2",   "fig3",  "fig4",
+          "fig5a",  "fig5b",    "fig6a", "fig6b",
+          "fig6c",  "fig7a",    "fig7b", "fig8",
+          "unstructured-mix",
+          "random-single-touch", "random-local-touch"};
+}
+
+}  // namespace wsf::graphs

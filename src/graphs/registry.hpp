@@ -1,0 +1,35 @@
+// Name-based generator registry for CLI tools and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphs/generated.hpp"
+
+namespace wsf::graphs {
+
+/// Generic knobs every registered generator understands (each maps them to
+/// its own parameters; unused knobs are ignored).
+struct RegistryParams {
+  /// Primary size parameter (chain length, tree depth, stage count…).
+  std::uint32_t size = 8;
+  /// Secondary size parameter (items, inner length…).
+  std::uint32_t size2 = 4;
+  /// Cache lines C for block-annotated constructions (0 = no blocks).
+  std::size_t cache_lines = 0;
+  /// Seed for the random families.
+  std::uint64_t seed = 1;
+};
+
+/// Instantiates the named construction ("fig2", "fig3", "fig4", "fig5a",
+/// "fig5b", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig8",
+/// "forkjoin", "fib", "chain", "future-chain", "pipeline",
+/// "random-single-touch", "random-local-touch").
+/// Throws wsf::CheckError for unknown names.
+GeneratedDag make_named(const std::string& name, const RegistryParams& p);
+
+/// All registered names, for --help output.
+std::vector<std::string> registry_names();
+
+}  // namespace wsf::graphs

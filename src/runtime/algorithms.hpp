@@ -1,0 +1,66 @@
+// Convenience parallel algorithms on top of spawn/touch — the patterns a
+// downstream user reaches for first. All are structured single-touch by
+// construction (every spawned future is touched exactly once by its
+// creating task), so the paper's locality bounds apply under the
+// future-first policy.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "runtime/pool.hpp"
+
+namespace wsf::runtime {
+
+/// Runs body(i) for every i in [begin, end), recursively splitting the
+/// range and spawning the left half until ranges are at most `grain` wide.
+/// Must be called from inside a task. Blocks (parks) until the whole range
+/// is done.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  WSF_REQUIRE(grain >= 1, "grain must be at least 1");
+  if (begin >= end) return;
+  if (end - begin <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  auto left = spawn([=, &body] { parallel_for(begin, mid, grain, body); });
+  parallel_for(mid, end, grain, body);
+  left.touch();
+}
+
+/// Runs both callables, the first as a spawned future (executed immediately
+/// under future-first) and the second inline; returns their results as a
+/// pair. The classic fork-join two-way split.
+template <typename F, typename G>
+auto parallel_invoke(F&& f, G&& g)
+    -> std::pair<std::invoke_result_t<F>, std::invoke_result_t<G>> {
+  auto left = spawn(std::forward<F>(f));
+  auto right = g();
+  return {left.touch(), std::move(right)};
+}
+
+/// Parallel reduction of body(i) over [begin, end) with a binary combiner.
+/// `identity` is the neutral element. Structured single-touch, like
+/// parallel_for.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, Body&& body, Combine&& combine) {
+  WSF_REQUIRE(grain >= 1, "grain must be at least 1");
+  if (begin >= end) return identity;
+  if (end - begin <= grain) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    return acc;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  auto left = spawn([=, &body, &combine] {
+    return parallel_reduce(begin, mid, grain, identity, body, combine);
+  });
+  T right = parallel_reduce(mid, end, grain, identity, body, combine);
+  return combine(left.touch(), std::move(right));
+}
+
+}  // namespace wsf::runtime

@@ -1,0 +1,139 @@
+// Lock-free work-stealing deque (Chase & Lev, SPAA'05), with the C11
+// memory-order discipline of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13).
+//
+// The owner pushes and pops at the bottom; thieves steal from the top —
+// exactly the parsimonious discipline of the paper's Section 3. Elements are
+// raw pointers (the scheduler owns object lifetimes).
+//
+// Memory reclamation: grown arrays are retired to a list and freed when the
+// deque is destroyed. A thief may still be reading a retired array, so
+// retiring (rather than freeing) is required for safety; the transient extra
+// memory is bounded by 2x the peak deque size.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace wsf::runtime {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_pointer_v<T>, "deque elements must be pointers");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : array_(new Array(round_up(initial_capacity))) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+
+  /// Owner-only: push onto the bottom.
+  void push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop from the bottom. Returns nullptr when empty.
+  T pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T value = a->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        value = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Thief: steal from the top. Returns nullptr on empty or lost race.
+  T steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Array* a = array_.load(std::memory_order_consume);
+    T value = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return value;
+  }
+
+  /// Racy size estimate (monitoring only).
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t cap) : capacity(cap), mask(cap - 1) {
+      slots = new std::atomic<T>[cap];
+    }
+    ~Array() { delete[] slots; }
+    T get(std::int64_t i) const {
+      return slots[i & static_cast<std::int64_t>(mask)].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[i & static_cast<std::int64_t>(mask)].store(
+          v, std::memory_order_relaxed);
+    }
+    std::size_t capacity;
+    std::size_t mask;
+    std::atomic<T>* slots;
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    array_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Array*> array_;
+  std::vector<Array*> retired_;  // owner-only (grow happens on the owner)
+};
+
+}  // namespace wsf::runtime

@@ -1,0 +1,38 @@
+#include "runtime/counters.hpp"
+
+#include <sstream>
+
+namespace wsf::runtime {
+
+WorkerCounters& WorkerCounters::operator+=(const WorkerCounters& o) {
+  spawns += o.spawns;
+  tasks_run += o.tasks_run;
+  steals += o.steals;
+  steal_attempts += o.steal_attempts;
+  touches += o.touches;
+  parked_touches += o.parked_touches;
+  direct_handoffs += o.direct_handoffs;
+  migrations += o.migrations;
+  fibers_created += o.fibers_created;
+  stacks_reused += o.stacks_reused;
+  return *this;
+}
+
+WorkerCounters CountersReport::total() const {
+  WorkerCounters t;
+  for (const auto& w : per_worker) t += w;
+  return t;
+}
+
+std::string CountersReport::to_string() const {
+  const WorkerCounters t = total();
+  std::ostringstream os;
+  os << "spawns=" << t.spawns << " tasks=" << t.tasks_run
+     << " steals=" << t.steals << "/" << t.steal_attempts
+     << " touches=" << t.touches << " parked=" << t.parked_touches
+     << " handoffs=" << t.direct_handoffs << " migrations=" << t.migrations
+     << " fibers=" << t.fibers_created << " reused=" << t.stacks_reused;
+  return os.str();
+}
+
+}  // namespace wsf::runtime

@@ -1,0 +1,42 @@
+// Software performance counters for the runtime — the "perf counters" side
+// of the reproduction: they surface the schedule-structure quantities the
+// paper reasons about (steals, parked touches, continuation migrations)
+// without requiring hardware PMUs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsf::runtime {
+
+/// Per-worker counters, cache-line padded; aggregated by Counters::total().
+struct alignas(64) WorkerCounters {
+  std::uint64_t spawns = 0;
+  std::uint64_t tasks_run = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t touches = 0;
+  /// Touches that found the future unresolved and parked the consumer — a
+  /// deviation-producing event in the paper's model.
+  std::uint64_t parked_touches = 0;
+  /// Producer finished with a parked consumer and switched to it directly
+  /// (the TouchFirst/eager-resume rule).
+  std::uint64_t direct_handoffs = 0;
+  /// Continuations resumed on a different worker than the one that
+  /// suspended them (migrations — the locality hazard).
+  std::uint64_t migrations = 0;
+  std::uint64_t fibers_created = 0;
+  std::uint64_t stacks_reused = 0;
+
+  WorkerCounters& operator+=(const WorkerCounters& o);
+};
+
+/// Aggregates and pretty-prints a set of worker counters.
+struct CountersReport {
+  std::vector<WorkerCounters> per_worker;
+  WorkerCounters total() const;
+  std::string to_string() const;
+};
+
+}  // namespace wsf::runtime

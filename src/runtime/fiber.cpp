@@ -1,0 +1,66 @@
+#include "runtime/fiber.hpp"
+
+#include <cstdlib>
+
+namespace wsf::runtime {
+
+Fiber::Fiber(FiberFn fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_bytes_(stack_bytes) {
+  WSF_REQUIRE(stack_bytes_ >= 16 * 1024, "fiber stack too small");
+  stack_ = static_cast<char*>(std::malloc(stack_bytes_));
+  WSF_CHECK(stack_ != nullptr, "fiber stack allocation failed");
+}
+
+Fiber::~Fiber() {
+  WSF_CHECK(!started_ || finished_,
+            "destroying a live fiber (suspended mid-execution)");
+  std::free(stack_);
+}
+
+void Fiber::rebind(FiberFn fn) {
+  WSF_REQUIRE(!started_ || finished_, "rebind of a live fiber");
+  fn_ = std::move(fn);
+  started_ = false;
+  finished_ = false;
+  return_to_ = nullptr;
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  self->run();
+  // Returning from a makecontext function with uc_link == nullptr would
+  // terminate the thread; instead mark finished and switch back.
+  self->finished_ = true;
+  ucontext_t* back = self->return_to_;
+  ucontext_t dummy;
+  swapcontext(&dummy, back);  // never returns
+  WSF_CHECK(false, "resumed a finished fiber");
+}
+
+void Fiber::run() { fn_(*this); }
+
+void Fiber::resume(ucontext_t* from) {
+  WSF_REQUIRE(!finished_, "resume of a finished fiber");
+  return_to_ = from;
+  if (!started_) {
+    started_ = true;
+    WSF_CHECK(getcontext(&context_) == 0, "getcontext failed");
+    context_.uc_stack.ss_sp = stack_;
+    context_.uc_stack.ss_size = stack_bytes_;
+    context_.uc_link = nullptr;
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                2, static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+  }
+  WSF_CHECK(swapcontext(from, &context_) == 0, "swapcontext failed");
+}
+
+void Fiber::suspend() {
+  ucontext_t* back = return_to_;
+  WSF_CHECK(swapcontext(&context_, back) == 0, "swapcontext failed");
+}
+
+}  // namespace wsf::runtime

@@ -1,0 +1,75 @@
+// Stackful fibers on top of ucontext, with pooled stacks.
+//
+// The runtime runs every task on its own fiber so that (a) under the
+// future-first policy a spawn can suspend the parent mid-function and push
+// its continuation onto the deque (work-first semantics, the policy the
+// paper recommends), and (b) a touch of an unresolved future can park the
+// consumer without blocking the worker thread.
+//
+// Fibers may be resumed by a *different* worker thread than the one that
+// suspended them (stolen continuations). glibc's swapcontext does not switch
+// TLS, so any code running inside a fiber must re-read its current worker
+// through a noinline accessor after every suspension point; the scheduler
+// does this for the user.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include "support/move_only_function.hpp"
+
+#include "support/check.hpp"
+
+namespace wsf::runtime {
+
+class Fiber;
+
+/// Entry function a fiber executes; when it returns, the fiber is finished.
+using FiberFn = support::MoveOnlyFunction<void(Fiber&)>;
+
+/// A suspendable execution context with its own heap-allocated stack.
+/// Lifecycle: created bound to a function, switched into from a native
+/// (worker) context, may suspend back any number of times, and finishes by
+/// returning. Stacks are reusable through rebind().
+class Fiber {
+ public:
+  /// Creates a fiber with a fresh stack of `stack_bytes`.
+  Fiber(FiberFn fn, std::size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Reinitializes a *finished* fiber with a new entry function, reusing its
+  /// stack — the scheduler's stack pool in one call.
+  void rebind(FiberFn fn);
+
+  /// Switches from the caller's native context into the fiber. Returns when
+  /// the fiber suspends or finishes. Must not be called from inside a fiber.
+  void resume(ucontext_t* from);
+
+  /// Suspends the fiber, switching back to the context that resumed it.
+  /// Must be called from inside this fiber.
+  void suspend();
+
+  bool finished() const { return finished_; }
+
+  /// Scheduler scratch: an opaque pointer slot the owner may use (e.g. to
+  /// chain parked fibers).
+  void* user_data = nullptr;
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run();
+
+  FiberFn fn_;
+  ucontext_t context_{};
+  ucontext_t* return_to_ = nullptr;
+  char* stack_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace wsf::runtime

@@ -1,0 +1,143 @@
+// Futures for the work-stealing runtime, with single-touch enforcement.
+//
+// A Future<T> is created by wsf::runtime::spawn and consumed exactly once by
+// touch() (Definition 2 — the discipline the paper shows preserves cache
+// locality; the runtime enforces it at run time). touch() never blocks the
+// worker thread: an unresolved touch parks the consumer fiber, and the
+// producer resumes it directly when the value arrives (the eager-resume /
+// TouchFirst rule).
+//
+// Synchronization protocol (one word per future):
+//   state == kEmpty : value not produced, nobody waiting
+//   state == kReady : value produced
+//   otherwise       : Fiber* of the parked consumer
+// The consumer publishes its fiber *from the scheduler context after it has
+// fully suspended* (see Worker::publish_pending_park), which closes the
+// resume-before-suspend race; producer and consumer linearize on one
+// exchange/CAS pair.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace wsf::runtime {
+
+class Fiber;
+class Scheduler;
+
+namespace detail {
+
+inline constexpr std::uintptr_t kEmpty = 0;
+inline constexpr std::uintptr_t kReady = 1;
+
+/// Type-erased part of the shared state; the scheduler interacts with
+/// futures only through this.
+struct FutureStateBase {
+  std::atomic<std::uintptr_t> state{kEmpty};
+  std::exception_ptr error;
+
+  virtual ~FutureStateBase() = default;
+
+  bool ready() const {
+    return state.load(std::memory_order_acquire) == kReady;
+  }
+
+  /// Producer side: publish readiness; returns the parked consumer fiber to
+  /// resume, or nullptr if none was waiting.
+  Fiber* publish_ready() {
+    const std::uintptr_t prev =
+        state.exchange(kReady, std::memory_order_acq_rel);
+    if (prev == kEmpty || prev == kReady) return nullptr;
+    return reinterpret_cast<Fiber*>(prev);
+  }
+
+  /// Consumer side (called from the scheduler after the consumer fiber
+  /// suspended): try to park `f`. Returns false when the value arrived in
+  /// the meantime and the fiber should be resumed immediately.
+  bool try_park(Fiber* f) {
+    std::uintptr_t expected = kEmpty;
+    return state.compare_exchange_strong(
+        expected, reinterpret_cast<std::uintptr_t>(f),
+        std::memory_order_release, std::memory_order_acquire);
+  }
+};
+
+template <typename T>
+struct FutureState final : FutureStateBase {
+  alignas(T) unsigned char storage[sizeof(T)];
+
+  template <typename U>
+  void emplace(U&& v) {
+    ::new (static_cast<void*>(storage)) T(std::forward<U>(v));
+  }
+  T take() {
+    T* p = std::launder(reinterpret_cast<T*>(storage));
+    T v = std::move(*p);
+    p->~T();
+    return v;
+  }
+  ~FutureState() override {
+    // If the value was produced but never consumed, destroy it here.
+    if (ready() && !error && !taken) {
+      std::launder(reinterpret_cast<T*>(storage))->~T();
+    }
+  }
+  bool taken = false;
+};
+
+template <>
+struct FutureState<void> final : FutureStateBase {};
+
+/// Implemented in pool.cpp: parks the calling fiber until the state is
+/// ready (counts the touch; may return immediately if already ready).
+void wait_until_ready(FutureStateBase& state);
+
+}  // namespace detail
+
+/// Move-only handle to the result of a spawned task. Enforces the paper's
+/// single-touch discipline: touching twice (or touching an empty handle)
+/// throws wsf::CheckError.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&&) noexcept = default;
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  /// True while this handle still holds an untouched future.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-consuming readiness probe (for monitoring; the model's touch is
+  /// the consuming operation below).
+  bool ready() const { return state_ && state_->ready(); }
+
+  /// Returns the task's result, parking the calling fiber until it is
+  /// produced. Consumes the handle: a second touch throws.
+  T touch() {
+    WSF_REQUIRE(state_ != nullptr,
+                "touch of an empty or already-touched future "
+                "(single-touch discipline violated)");
+    auto st = std::move(state_);
+    detail::wait_until_ready(*st);
+    if (st->error) std::rethrow_exception(st->error);
+    if constexpr (!std::is_void_v<T>) {
+      st->taken = true;
+      return st->take();
+    }
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+}  // namespace wsf::runtime

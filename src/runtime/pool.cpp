@@ -1,0 +1,259 @@
+#include "runtime/pool.hpp"
+
+#include <chrono>
+
+namespace wsf::runtime {
+namespace detail {
+
+namespace {
+thread_local Worker* tl_worker = nullptr;
+thread_local Fiber* tl_fiber = nullptr;
+}  // namespace
+
+// noinline: fiber code must re-read these after suspension points, because a
+// fiber can resume on a different worker thread (ucontext does not switch
+// TLS).
+__attribute__((noinline)) Worker* current_worker() noexcept {
+  return tl_worker;
+}
+__attribute__((noinline)) Fiber* current_fiber() noexcept {
+  return tl_fiber;
+}
+
+void wait_until_ready(FutureStateBase& state) {
+  Worker* w = current_worker();
+  WSF_REQUIRE(w != nullptr, "touch() outside the scheduler");
+  w->counters().touches++;
+  if (state.ready()) return;
+  Fiber* f = current_fiber();
+  WSF_CHECK(f != nullptr, "touch outside a task fiber");
+  w->counters().parked_touches++;
+  w->park_on(state, *f);
+  // Resumed: the producer published the value before waking us.
+  WSF_CHECK(state.ready(), "parked touch resumed before the value arrived");
+}
+
+Worker::Worker(Scheduler& sched, std::uint32_t id,
+               const RuntimeOptions& opts)
+    : sched_(sched),
+      id_(id),
+      stack_bytes_(opts.stack_bytes),
+      rng_(support::derive_seed(opts.seed, id)) {}
+
+Worker::~Worker() = default;
+
+void Worker::main_loop() {
+  tl_worker = this;
+  int idle_spins = 0;
+  while (true) {
+    Job* job = find_work();
+    if (job) {
+      idle_spins = 0;
+      execute(job);
+      continue;
+    }
+    if (sched_.stop_.load(std::memory_order_acquire)) break;
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  tl_worker = nullptr;
+}
+
+Job* Worker::find_work() {
+  if (Job* j = deque_.pop_bottom()) return j;
+  if (Job* j = sched_.take_injected()) return j;
+  // One random steal attempt per round, like the model's parsimonious
+  // thief.
+  const std::uint32_t n = sched_.num_workers();
+  if (n <= 1) return nullptr;
+  counters_.steal_attempts++;
+  auto victim = static_cast<std::uint32_t>(rng_.below(n - 1));
+  if (victim >= id_) ++victim;
+  Job* j = sched_.workers_[victim]->deque_.steal_top();
+  if (j) counters_.steals++;
+  return j;
+}
+
+Fiber* Worker::acquire_fiber(support::MoveOnlyFunction<void()> body) {
+  auto wrapped = [body = std::move(body)](Fiber&) mutable { body(); };
+  if (!fiber_pool_.empty()) {
+    std::unique_ptr<Fiber> f = std::move(fiber_pool_.back());
+    fiber_pool_.pop_back();
+    f->rebind(std::move(wrapped));
+    counters_.stacks_reused++;
+    Fiber* raw = f.get();
+    live_fibers_.push_back(std::move(f));
+    return raw;
+  }
+  counters_.fibers_created++;
+  auto f = std::make_unique<Fiber>(std::move(wrapped), stack_bytes_);
+  Fiber* raw = f.get();
+  live_fibers_.push_back(std::move(f));
+  return raw;
+}
+
+void Worker::recycle(Fiber* f) {
+  // Move the finished fiber from the live set into the pool. The fiber may
+  // have been created by a different worker (migration); ownership follows
+  // the finisher, so search both this worker's live set and, failing that,
+  // adopt it (the creating worker keeps the unique_ptr; transferring
+  // ownership across workers would race). To keep this simple and safe, a
+  // fiber is recycled only by its creating worker; others leave it to be
+  // garbage-collected at shutdown.
+  for (std::size_t i = 0; i < live_fibers_.size(); ++i) {
+    if (live_fibers_[i].get() == f) {
+      std::unique_ptr<Fiber> owned = std::move(live_fibers_[i]);
+      live_fibers_[i] = std::move(live_fibers_.back());
+      live_fibers_.pop_back();
+      fiber_pool_.push_back(std::move(owned));
+      return;
+    }
+  }
+  // Not ours: the creating worker still holds it in live_fibers_; it will
+  // be freed at scheduler shutdown.
+}
+
+void Worker::execute(Job* job) {
+  Fiber* f = nullptr;
+  if (job->kind == Job::Kind::Fresh) {
+    counters_.tasks_run++;
+    f = acquire_fiber(std::move(job->run));
+  } else {
+    f = job->fiber;
+    if (f->user_data != this) counters_.migrations++;
+  }
+  delete job;
+  run_fiber(f);
+}
+
+void Worker::run_fiber(Fiber* f) {
+  while (f) {
+    f->user_data = this;
+    tl_fiber = f;
+    f->resume(&sched_ctx_);
+    tl_fiber = nullptr;
+    // Back on the scheduler context. NOTE: `this` is still valid — the
+    // scheduler context never migrates.
+    Fiber* next = nullptr;
+    if (f->finished()) {
+      sched_.task_finished();
+      next = std::exchange(handoff_, nullptr);
+      recycle(f);
+    } else {
+      // The fiber suspended: either a future-first spawn or a park.
+      if (pending_continuation_) {
+        // Future-first spawn: now that the parent is truly suspended, make
+        // its continuation stealable and run the child.
+        auto* resume = new Job{Job::Kind::Resume, {},
+                               std::exchange(pending_continuation_, nullptr)};
+        deque_.push_bottom(resume);
+        WSF_CHECK(pending_child_ != nullptr, "spawn without a child job");
+        counters_.tasks_run++;
+        next = acquire_fiber(std::move(pending_child_->run));
+        pending_child_.reset();
+      } else {
+        publish_pending_park();
+        next = std::exchange(handoff_, nullptr);
+      }
+    }
+    f = next;
+  }
+}
+
+void Worker::publish_pending_park() {
+  FutureStateBase* st = std::exchange(pending_park_state_, nullptr);
+  Fiber* f = std::exchange(pending_park_fiber_, nullptr);
+  WSF_CHECK(st != nullptr && f != nullptr, "suspend without a protocol");
+  if (!st->try_park(f)) {
+    // The producer beat us to it; resume the consumer immediately.
+    handoff_ = f;
+  }
+}
+
+void Worker::spawn_future_first(Fiber& parent, std::unique_ptr<Job> child) {
+  sched_.task_started();
+  pending_child_ = std::move(child);
+  pending_continuation_ = &parent;
+  parent.suspend();
+  // Resumed (possibly on another worker after a steal) — nothing to do;
+  // the caller must re-read current_worker().
+}
+
+void Worker::spawn_parent_first(std::unique_ptr<Job> child) {
+  sched_.task_started();
+  deque_.push_bottom(child.release());
+}
+
+void Worker::park_on(FutureStateBase& state, Fiber& f) {
+  pending_park_state_ = &state;
+  pending_park_fiber_ = &f;
+  f.suspend();
+}
+
+void Worker::set_handoff(Fiber* f) {
+  WSF_CHECK(handoff_ == nullptr, "double handoff");
+  handoff_ = f;
+}
+
+}  // namespace detail
+
+Scheduler::Scheduler(const RuntimeOptions& opts) : opts_(opts) {
+  std::uint32_t n = opts_.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  for (std::uint32_t i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<detail::Worker>(*this, i, opts_));
+  threads_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { workers_[i]->main_loop(); });
+}
+
+Scheduler::~Scheduler() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+  // Any jobs left in the inbox (none, if every run() completed) leak
+  // nothing: quiescence guarantees an empty inbox here.
+  for (detail::Job* j : inbox_) delete j;
+}
+
+void Scheduler::inject(std::unique_ptr<detail::Job> job) {
+  task_started();
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_.push_back(job.release());
+}
+
+detail::Job* Scheduler::take_injected() {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  if (inbox_.empty()) return nullptr;
+  detail::Job* j = inbox_.back();
+  inbox_.pop_back();
+  return j;
+}
+
+void Scheduler::task_finished() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(quiescent_mutex_);
+    quiescent_cv_.notify_all();
+  }
+}
+
+void Scheduler::wait_quiescent() {
+  std::unique_lock<std::mutex> lock(quiescent_mutex_);
+  quiescent_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+CountersReport Scheduler::counters() const {
+  CountersReport report;
+  for (const auto& w : workers_) report.per_worker.push_back(w->counters());
+  return report;
+}
+
+void Scheduler::reset_counters() {
+  for (auto& w : workers_) w->counters() = WorkerCounters{};
+}
+
+}  // namespace wsf::runtime

@@ -1,0 +1,246 @@
+// The work-stealing scheduler: worker threads, fibers, spawn policies.
+//
+// This is the runtime counterpart of the paper's model:
+//   * one Chase–Lev deque per worker (parsimonious work stealing, §3);
+//   * SpawnPolicy::FutureFirst — spawn suspends the parent, pushes its
+//     continuation onto the deque bottom, and runs the future inline
+//     (work-first; the policy Theorem 8 recommends);
+//   * SpawnPolicy::ParentFirst — spawn pushes the future task and the parent
+//     continues (help-first; the policy Theorem 10 warns about);
+//   * an unresolved touch parks the consumer fiber; the producer resumes it
+//     directly when the value is ready (eager resume).
+//
+// Every task runs on its own fiber (pooled stacks), so continuations are
+// first-class and can be stolen like any other work item.
+//
+// Usage:
+//   Scheduler sched({.workers = 4, .policy = SpawnPolicy::FutureFirst});
+//   int r = sched.run([] {
+//     auto f = spawn([] { return heavy(); });   // Future<int>
+//     int local = other_work();
+//     return f.touch() + local;
+//   });
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/chase_lev.hpp"
+#include "support/move_only_function.hpp"
+#include "runtime/counters.hpp"
+#include "runtime/fiber.hpp"
+#include "runtime/future.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace wsf::runtime {
+
+enum class SpawnPolicy {
+  /// Run the spawned future first; push the parent continuation
+  /// (work-first — recommended by the paper for structured computations).
+  FutureFirst,
+  /// Continue the parent; push the spawned future (help-first).
+  ParentFirst,
+};
+
+inline const char* to_string(SpawnPolicy p) {
+  return p == SpawnPolicy::FutureFirst ? "future-first" : "parent-first";
+}
+
+struct RuntimeOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::uint32_t workers = 0;
+  SpawnPolicy policy = SpawnPolicy::FutureFirst;
+  /// Stack bytes per fiber.
+  std::size_t stack_bytes = 256 * 1024;
+  /// Seed for victim selection.
+  std::uint64_t seed = 0x5eed;
+};
+
+class Scheduler;
+
+namespace detail {
+
+/// A unit of deque work: either a fresh task (closure not yet started) or a
+/// suspended fiber to resume.
+struct Job {
+  enum class Kind : std::uint8_t { Fresh, Resume };
+  Kind kind;
+  support::MoveOnlyFunction<void()> run;  // Fresh
+  Fiber* fiber = nullptr;     // Resume
+};
+
+class Worker {
+ public:
+  Worker(Scheduler& sched, std::uint32_t id, const RuntimeOptions& opts);
+  ~Worker();
+
+  void main_loop();
+
+  /// Called by spawn (future-first): defer-push the parent continuation and
+  /// hand the fresh child job to the scheduler, then suspend the parent.
+  void spawn_future_first(Fiber& parent, std::unique_ptr<Job> child);
+  /// Called by spawn (parent-first): push the fresh child job.
+  void spawn_parent_first(std::unique_ptr<Job> child);
+  /// Called by touch on an unresolved future: park the calling fiber.
+  void park_on(FutureStateBase& state, Fiber& f);
+  /// Called by a producer that found a parked consumer.
+  void set_handoff(Fiber* f);
+
+  WorkerCounters& counters() { return counters_; }
+  std::uint32_t id() const { return id_; }
+  Scheduler& scheduler() { return sched_; }
+  ChaseLevDeque<Job*>& deque() { return deque_; }
+
+ private:
+  friend class wsf::runtime::Scheduler;
+
+  Job* find_work();
+  void execute(Job* job);
+  void run_fiber(Fiber* f);
+  Fiber* acquire_fiber(support::MoveOnlyFunction<void()> body);
+  void recycle(Fiber* f);
+  void publish_pending_park();
+
+  Scheduler& sched_;
+  std::uint32_t id_;
+  std::size_t stack_bytes_;
+  ChaseLevDeque<Job*> deque_;
+  support::Xoshiro256 rng_;
+  WorkerCounters counters_;
+
+  // Scheduler-context scratch used by the suspend protocols.
+  ucontext_t sched_ctx_{};
+  Fiber* handoff_ = nullptr;
+  std::unique_ptr<Job> pending_child_;
+  Fiber* pending_continuation_ = nullptr;
+  FutureStateBase* pending_park_state_ = nullptr;
+  Fiber* pending_park_fiber_ = nullptr;
+  std::vector<std::unique_ptr<Fiber>> fiber_pool_;
+  std::vector<std::unique_ptr<Fiber>> live_fibers_;
+};
+
+/// The worker the calling thread belongs to, nullptr outside the pool.
+/// noinline so fiber code re-reads it after suspension points (fibers can
+/// migrate across worker threads).
+Worker* current_worker() noexcept;
+/// The fiber currently executing on this thread (nullptr on a scheduler
+/// context).
+Fiber* current_fiber() noexcept;
+
+}  // namespace detail
+
+class Scheduler {
+ public:
+  explicit Scheduler(const RuntimeOptions& opts = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs `root` to completion inside the pool and returns its result. Also
+  /// waits for all side-effect tasks (futures never touched) to finish —
+  /// the runtime analogue of the paper's super final node (§6.2). May be
+  /// called repeatedly (not concurrently).
+  template <typename F>
+  auto run(F&& root) -> std::invoke_result_t<F> {
+    using R = std::invoke_result_t<F>;
+    auto state = std::make_shared<detail::FutureState<R>>();
+    inject(make_job(state, std::forward<F>(root)));
+    wait_quiescent();
+    WSF_CHECK(state->ready(), "root task did not complete");
+    if (state->error) std::rethrow_exception(state->error);
+    if constexpr (!std::is_void_v<R>) {
+      state->taken = true;
+      return state->take();
+    }
+  }
+
+  SpawnPolicy policy() const { return opts_.policy; }
+  std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  /// Snapshot of all worker counters (racy while tasks run; exact when
+  /// quiescent).
+  CountersReport counters() const;
+  /// Zeroes all counters (call only while quiescent).
+  void reset_counters();
+
+  /// Wraps a closure and its future state into a fresh deque job. Exposed
+  /// for spawn(); not part of the stable user API.
+  template <typename R, typename F>
+  static std::unique_ptr<detail::Job> make_job(
+      std::shared_ptr<detail::FutureState<R>> state, F&& fn) {
+    auto job = std::make_unique<detail::Job>();
+    job->kind = detail::Job::Kind::Fresh;
+    job->run = [state = std::move(state),
+                fn = std::forward<F>(fn)]() mutable {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn();
+        } else {
+          state->emplace(fn());
+        }
+      } catch (...) {
+        state->error = std::current_exception();
+      }
+      if (Fiber* waiter = state->publish_ready()) {
+        detail::current_worker()->set_handoff(waiter);
+        detail::current_worker()->counters().direct_handoffs++;
+      }
+    };
+    return job;
+  }
+
+ private:
+  friend class detail::Worker;
+
+  void inject(std::unique_ptr<detail::Job> job);
+  void wait_quiescent();
+  detail::Job* take_injected();
+
+  void task_started() {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void task_finished();
+
+  RuntimeOptions opts_;
+  std::vector<std::unique_ptr<detail::Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> outstanding_{0};
+
+  std::mutex inbox_mutex_;
+  std::vector<detail::Job*> inbox_;
+
+  std::mutex quiescent_mutex_;
+  std::condition_variable quiescent_cv_;
+};
+
+/// Spawns `fn` as a future task under the scheduler's policy. Must be
+/// called from inside a task (i.e. on a worker fiber).
+template <typename F>
+auto spawn(F&& fn) -> Future<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  detail::Worker* w = detail::current_worker();
+  WSF_REQUIRE(w != nullptr, "spawn() outside the scheduler");
+  auto state = std::make_shared<detail::FutureState<R>>();
+  auto job = Scheduler::make_job(state, std::forward<F>(fn));
+  w->counters().spawns++;
+  if (w->scheduler().policy() == SpawnPolicy::FutureFirst) {
+    Fiber* parent = detail::current_fiber();
+    WSF_CHECK(parent != nullptr, "spawn outside a task fiber");
+    w->spawn_future_first(*parent, std::move(job));
+  } else {
+    w->spawn_parent_first(std::move(job));
+  }
+  return Future<R>(std::move(state));
+}
+
+}  // namespace wsf::runtime

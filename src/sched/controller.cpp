@@ -1,0 +1,108 @@
+#include "sched/controller.hpp"
+
+#include "sched/simulator.hpp"
+#include "support/check.hpp"
+
+namespace wsf::sched {
+
+void ScheduleController::on_start(const Simulator&) {}
+bool ScheduleController::awake(const Simulator&, core::ProcId) { return true; }
+void ScheduleController::on_execute(const Simulator&, core::ProcId,
+                                    core::NodeId) {}
+void ScheduleController::on_steal(const Simulator&, core::ProcId,
+                                  core::ProcId, core::NodeId) {}
+
+RandomController::RandomController(std::uint64_t seed, double stall_prob,
+                                   bool steal_nonempty_only)
+    : rng_(seed),
+      stall_prob_(stall_prob),
+      steal_nonempty_only_(steal_nonempty_only) {}
+
+bool RandomController::awake(const Simulator&, core::ProcId) {
+  if (stall_prob_ <= 0.0) return true;
+  return !rng_.chance(stall_prob_);
+}
+
+core::ProcId RandomController::pick_victim(const Simulator& sim,
+                                           core::ProcId thief) {
+  const std::uint32_t procs = sim.num_procs();
+  if (procs <= 1) return thief;  // nobody to steal from
+  if (!steal_nonempty_only_) {
+    // Faithful ABP: uniform over the other processors; may fail.
+    auto v = static_cast<core::ProcId>(rng_.below(procs - 1));
+    if (v >= thief) ++v;
+    return v;
+  }
+  // Uniform over processors with non-empty deques.
+  std::vector<core::ProcId> candidates;
+  candidates.reserve(procs);
+  for (core::ProcId q = 0; q < procs; ++q)
+    if (q != thief && !sim.deque_empty(q)) candidates.push_back(q);
+  if (candidates.empty()) return thief;
+  return candidates[rng_.below(candidates.size())];
+}
+
+ScriptController& ScriptController::sleep_after(const std::string& role,
+                                                core::ProcId p) {
+  pending_rules_.push_back({role, p, true});
+  return *this;
+}
+
+ScriptController& ScriptController::wake_after(const std::string& role,
+                                               core::ProcId p) {
+  pending_rules_.push_back({role, p, false});
+  return *this;
+}
+
+ScriptController& ScriptController::sleep_now(core::ProcId p) {
+  initially_asleep_.push_back(p);
+  return *this;
+}
+
+ScriptController& ScriptController::prefer_victim(
+    core::ProcId thief, std::vector<core::ProcId> victims) {
+  victim_pref_[thief] = std::move(victims);
+  return *this;
+}
+
+void ScriptController::on_start(const Simulator& sim) {
+  asleep_.assign(sim.num_procs(), 0);
+  for (core::ProcId p : initially_asleep_) {
+    WSF_REQUIRE(p < sim.num_procs(), "sleep_now: bad processor " << p);
+    asleep_[p] = 1;
+  }
+  triggers_.clear();
+  for (const PendingRule& r : pending_rules_) {
+    const core::NodeId v = sim.graph().node_by_role(r.role);
+    WSF_REQUIRE(v != core::kInvalidNode,
+                "schedule script references unknown role '" << r.role << "'");
+    WSF_REQUIRE(r.proc < sim.num_procs(),
+                "schedule script references bad processor " << r.proc);
+    triggers_[v].push_back({r.proc, r.sleep});
+  }
+}
+
+bool ScriptController::awake(const Simulator&, core::ProcId p) {
+  return !asleep_[p];
+}
+
+core::ProcId ScriptController::pick_victim(const Simulator& sim,
+                                           core::ProcId thief) {
+  auto it = victim_pref_.find(thief);
+  if (it != victim_pref_.end()) {
+    for (core::ProcId v : it->second)
+      if (v != thief && !sim.deque_empty(v)) return v;
+  }
+  for (core::ProcId v = 0; v < sim.num_procs(); ++v)
+    if (v != thief && !sim.deque_empty(v)) return v;
+  return thief;  // nothing to steal; skip this round
+}
+
+void ScriptController::on_execute(const Simulator&, core::ProcId,
+                                  core::NodeId v) {
+  auto it = triggers_.find(v);
+  if (it == triggers_.end()) return;
+  for (const auto& [proc, sleep] : it->second) asleep_[proc] = sleep ? 1 : 0;
+}
+
+}  // namespace wsf::sched

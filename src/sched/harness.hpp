@@ -1,0 +1,41 @@
+// Experiment harness: run the sequential baseline and a parallel execution
+// under identical policy/cache settings, then report deviations and
+// additional cache misses — the paper's two locality measures.
+#pragma once
+
+#include <cstdint>
+
+#include "core/deviation.hpp"
+#include "core/graph.hpp"
+#include "core/traversal.hpp"
+#include "sched/options.hpp"
+#include "sched/sequential.hpp"
+#include "sched/simulator.hpp"
+
+namespace wsf::sched {
+
+/// Everything a bench row needs about one (graph, schedule) pair.
+struct ExperimentResult {
+  core::DagStats stats;
+  SeqResult seq;
+  SimResult par;
+  core::DeviationReport deviations;
+  /// Parallel misses minus sequential misses (can be negative in principle;
+  /// the paper's measure of the locality cost of parallelism).
+  std::int64_t additional_misses = 0;
+};
+
+/// Runs the full comparison. The controller (may be null = random) drives
+/// only the parallel execution; the sequential baseline always uses the same
+/// fork policy, touch-enable rule, and cache configuration.
+ExperimentResult run_experiment(const core::Graph& g, const SimOptions& opts,
+                                ScheduleController* controller = nullptr);
+
+/// Renders the per-processor execution sequences with role labels and
+/// deviation marks ('*') — a textual schedule view for small graphs.
+/// Nodes beyond `max_nodes` per processor are elided.
+std::string format_schedule(const core::Graph& g, const SimResult& par,
+                            const core::DeviationReport& deviations,
+                            std::size_t max_nodes = 64);
+
+}  // namespace wsf::sched

@@ -1,0 +1,61 @@
+// Configuration shared by the sequential executor and the work-stealing
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/policy.hpp"
+
+namespace wsf::sched {
+
+/// What a processor does when executing a node enables both the node's
+/// continuation child and its touch child (possible only at *interior*
+/// future parents, which occur in local-touch computations and in the main
+/// thread). The paper's single-touch proofs never hit this case because a
+/// single-touch future parent is its thread's last node.
+enum class TouchEnable {
+  /// Continue into the enabled touch and push the continuation — models
+  /// futures runtimes that eagerly resume a waiting consumer when the value
+  /// is produced. Default.
+  TouchFirst,
+  /// Continue the producer's own thread and push the enabled touch.
+  ContinuationFirst,
+};
+
+inline const char* to_string(TouchEnable t) {
+  return t == TouchEnable::TouchFirst ? "touch-first" : "continuation-first";
+}
+
+struct SimOptions {
+  /// Number of simulated processors P.
+  std::uint32_t procs = 1;
+  /// Child choice at forks (the paper's central policy knob).
+  core::ForkPolicy policy = core::ForkPolicy::FutureFirst;
+  TouchEnable touch_enable = TouchEnable::TouchFirst;
+
+  /// Seed for the default random schedule controller.
+  std::uint64_t seed = 1;
+  /// With the default controller, probability that an awake processor stalls
+  /// for a round — injects schedule diversity so steals (and therefore
+  /// deviations) actually happen; the paper's bounds hold under any such
+  /// adversarial delays.
+  double stall_prob = 0.0;
+  /// Default controller only steals from victims with non-empty deques
+  /// (failed attempts are still possible under races with... in this
+  /// deterministic simulator, this simply avoids pointless attempts; set to
+  /// false for faithful uniform-victim ABP accounting).
+  bool steal_nonempty_only = true;
+
+  /// Cache lines per processor (C); 0 disables cache simulation.
+  std::size_t cache_lines = 0;
+  /// Cache replacement policy ("lru", "fifo", "direct", "assocW").
+  std::string cache_policy = "lru";
+
+  /// Safety valve against controller bugs: the simulator throws if the
+  /// execution does not finish within this many rounds (0 = auto: 64·N + 64
+  /// rounds scaled by processor count).
+  std::uint64_t max_steps = 0;
+};
+
+}  // namespace wsf::sched

@@ -1,0 +1,86 @@
+#include "sched/sequential.hpp"
+
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "support/check.hpp"
+
+namespace wsf::sched {
+
+SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  SeqResult result;
+  result.order.reserve(n);
+  result.position.assign(n, 0);
+
+  std::unique_ptr<cache::CacheModel> cache;
+  if (opts.cache_lines > 0)
+    cache = cache::make_cache(opts.cache_policy, opts.cache_lines);
+
+  // pending[v] = predecessors not yet executed; a node is enabled when its
+  // last predecessor executes.
+  std::vector<std::uint32_t> pending(n);
+  for (core::NodeId v = 0; v < n; ++v)
+    pending[v] = static_cast<std::uint32_t>(g.in_degree(v));
+
+  std::vector<core::NodeId> deque;  // bottom = back (LIFO for the owner)
+  core::NodeId current = g.root();
+
+  while (true) {
+    // ---- execute `current` ----
+    const core::Node& node = g.node(current);
+    if (cache && node.block != core::kNoBlock) {
+      if (cache->access(node.block)) ++result.misses;
+    }
+    result.position[current] = static_cast<std::uint32_t>(result.order.size());
+    result.order.push_back(current);
+
+    // ---- collect children enabled by this execution ----
+    core::HalfEdge enabled[2];
+    int enabled_count = 0;
+    for (std::uint8_t i = 0; i < node.out_count; ++i) {
+      const core::NodeId succ = node.out[i].node;
+      WSF_DCHECK(pending[succ] > 0);
+      if (--pending[succ] == 0) enabled[enabled_count++] = node.out[i];
+    }
+
+    // ---- choose the next node (parsimonious discipline) ----
+    if (enabled_count == 2) {
+      // Deterministic choice: forks follow the fork policy; future parents
+      // follow the touch-enable rule. enabled[0]/[1] kinds are distinct
+      // unless both are touch edges (super-final producer), where order is
+      // immaterial (the final node runs last anyway).
+      int take = 0;
+      if (g.is_fork(current)) {
+        const bool take_future =
+            opts.policy == core::ForkPolicy::FutureFirst;
+        take = (enabled[0].kind == core::EdgeKind::Future) == take_future
+                   ? 0
+                   : 1;
+      } else {
+        const bool take_touch = opts.touch_enable == TouchEnable::TouchFirst;
+        take = (enabled[0].kind == core::EdgeKind::Touch) == take_touch ? 0
+                                                                        : 1;
+      }
+      deque.push_back(enabled[1 - take].node);
+      current = enabled[take].node;
+      continue;
+    }
+    if (enabled_count == 1) {
+      current = enabled[0].node;
+      continue;
+    }
+    // Nothing enabled: pop the bottom of the deque.
+    if (deque.empty()) break;
+    current = deque.back();
+    deque.pop_back();
+  }
+
+  WSF_CHECK(result.order.size() == n,
+            "sequential execution finished after "
+                << result.order.size() << " of " << n
+                << " nodes — the DAG is not well formed");
+  return result;
+}
+
+}  // namespace wsf::sched

@@ -1,0 +1,162 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace wsf::sched {
+
+Simulator::Simulator(const core::Graph& g, const SimOptions& opts,
+                     ScheduleController* controller)
+    : g_(g), opts_(opts), controller_(controller) {
+  WSF_REQUIRE(opts_.procs >= 1, "need at least one processor");
+  if (!controller_) {
+    owned_controller_ = std::make_unique<RandomController>(
+        opts_.seed, opts_.stall_prob, opts_.steal_nonempty_only);
+    controller_ = owned_controller_.get();
+  }
+  const std::size_t n = g_.num_nodes();
+  pending_.resize(n);
+  for (core::NodeId v = 0; v < n; ++v)
+    pending_[v] = static_cast<std::uint32_t>(g_.in_degree(v));
+  executed_.assign(n, 0);
+  current_.assign(opts_.procs, core::kInvalidNode);
+  deques_.resize(opts_.procs);
+  if (opts_.cache_lines > 0) {
+    caches_.reserve(opts_.procs);
+    for (std::uint32_t p = 0; p < opts_.procs; ++p)
+      caches_.push_back(
+          cache::make_cache(opts_.cache_policy, opts_.cache_lines));
+  }
+  result_.proc_orders.resize(opts_.procs);
+  result_.executed_by.assign(n, 0);
+  result_.global_order.reserve(n);
+  result_.misses_per_proc.assign(opts_.procs, 0);
+}
+
+SimResult simulate(const core::Graph& g, const SimOptions& opts,
+                   ScheduleController* controller) {
+  Simulator sim(g, opts, controller);
+  return sim.run();
+}
+
+SimResult Simulator::run() {
+  WSF_REQUIRE(!ran_, "Simulator::run may be called once");
+  ran_ = true;
+  const std::size_t n = g_.num_nodes();
+  // The computation starts with the root assigned to processor 0 (the
+  // paper's executions always start this way; a different "root processor"
+  // is just a relabeling).
+  current_[0] = g_.root();
+
+  const std::uint64_t max_steps =
+      opts_.max_steps ? opts_.max_steps
+                      : 64 + 64 * static_cast<std::uint64_t>(n) *
+                                 std::max<std::uint64_t>(1, opts_.procs);
+  controller_->on_start(*this);
+
+  while (executed_count_ < n) {
+    WSF_CHECK(round_ < max_steps,
+              "simulation did not finish within "
+                  << max_steps << " rounds (controller deadlock? "
+                  << executed_count_ << "/" << n << " nodes executed)");
+    for (core::ProcId p = 0; p < opts_.procs && executed_count_ < n; ++p) {
+      if (!controller_->awake(*this, p)) {
+        ++result_.idle_steps;
+        continue;
+      }
+      if (current_[p] == core::kInvalidNode) {
+        if (!deques_[p].empty()) {
+          // Pop the bottom of the own deque and execute it this round.
+          current_[p] = deques_[p].back();
+          deques_[p].pop_back();
+        } else {
+          try_steal(p);
+          continue;  // a steal attempt consumes the round
+        }
+      }
+      const core::NodeId v = current_[p];
+      current_[p] = core::kInvalidNode;
+      execute(p, v);
+    }
+    ++round_;
+  }
+  result_.steps = round_;
+  for (core::ProcId p = 0; p < opts_.procs; ++p)
+    WSF_CHECK(deques_[p].empty() && current_[p] == core::kInvalidNode,
+              "processor " << p << " still holds work after completion");
+  return std::move(result_);
+}
+
+void Simulator::try_steal(core::ProcId p) {
+  const core::ProcId victim = controller_->pick_victim(*this, p);
+  if (victim == p || victim >= opts_.procs) {
+    // Controller declined the attempt this round.
+    ++result_.idle_steps;
+    return;
+  }
+  ++result_.steal_attempts;
+  if (deques_[victim].empty()) {
+    ++result_.failed_steals;
+    return;
+  }
+  const core::NodeId stolen = deques_[victim].front();  // top of the deque
+  deques_[victim].pop_front();
+  ++result_.steals;
+  result_.stolen_nodes.push_back(stolen);
+  current_[p] = stolen;  // executed next round (a steal costs one round)
+  controller_->on_steal(*this, p, victim, stolen);
+}
+
+void Simulator::execute(core::ProcId p, core::NodeId v) {
+  WSF_DCHECK(!executed_[v], "node executed twice");
+  const core::Node& node = g_.node(v);
+  if (!caches_.empty() && node.block != core::kNoBlock) {
+    if (caches_[p]->access(node.block)) ++result_.misses_per_proc[p];
+  }
+  executed_[v] = 1;
+  ++executed_count_;
+  result_.proc_orders[p].push_back(v);
+  result_.global_order.push_back(v);
+  result_.executed_by[v] = p;
+
+  core::HalfEdge enabled[2];
+  int enabled_count = 0;
+  for (std::uint8_t i = 0; i < node.out_count; ++i) {
+    const core::NodeId succ = node.out[i].node;
+    WSF_DCHECK(pending_[succ] > 0);
+    if (--pending_[succ] == 0) {
+      enabled[enabled_count++] = node.out[i];
+    } else if (node.out[i].kind == core::EdgeKind::Continuation &&
+               g_.is_touch(succ) && succ != g_.final_node()) {
+      // The processor just reached (checked) a touch that is not ready. If
+      // the fork spawning the touched future has not even executed yet, the
+      // touch was checked before its future thread exists — the Figure 3
+      // hazard that structured computations exclude.
+      const core::NodeId fork = g_.corresponding_fork_of(succ);
+      if (fork != core::kInvalidNode && !executed_[fork])
+        ++result_.premature_touches;
+    }
+  }
+  controller_->on_execute(*this, p, v);
+
+  if (enabled_count == 2) {
+    int take = 0;
+    if (g_.is_fork(v)) {
+      const bool take_future = opts_.policy == core::ForkPolicy::FutureFirst;
+      take =
+          (enabled[0].kind == core::EdgeKind::Future) == take_future ? 0 : 1;
+    } else {
+      const bool take_touch = opts_.touch_enable == TouchEnable::TouchFirst;
+      take =
+          (enabled[0].kind == core::EdgeKind::Touch) == take_touch ? 0 : 1;
+    }
+    deques_[p].push_back(enabled[1 - take].node);  // bottom of the deque
+    current_[p] = enabled[take].node;
+  } else if (enabled_count == 1) {
+    current_[p] = enabled[0].node;
+  }
+  // enabled_count == 0: the processor will pop or steal next round.
+}
+
+}  // namespace wsf::sched

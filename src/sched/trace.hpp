@@ -1,0 +1,50 @@
+// Execution traces and counters produced by the scheduler simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace wsf::sched {
+
+/// Complete record of one simulated execution (sequential or parallel).
+struct SimResult {
+  /// Per-processor node sequences, in the order each processor executed
+  /// them. Concatenated they cover every node exactly once.
+  std::vector<std::vector<core::NodeId>> proc_orders;
+  /// Nodes in global execution order (ties broken by processor index within
+  /// a round).
+  std::vector<core::NodeId> global_order;
+  /// For each node, the processor that executed it.
+  std::vector<core::ProcId> executed_by;
+
+  /// Number of simulation rounds until completion.
+  std::uint64_t steps = 0;
+  /// Successful steals (a node moved from a victim's deque top to a thief).
+  std::uint64_t steals = 0;
+  /// The nodes that were stolen, in steal order — the roots of the
+  /// deviation chains of Theorem 8's proof.
+  std::vector<core::NodeId> stolen_nodes;
+  /// All steal attempts, including failures.
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t failed_steals = 0;
+  /// Processor-rounds spent asleep or without work.
+  std::uint64_t idle_steps = 0;
+
+  /// Times a touch was checked (its local parent executed) before the fork
+  /// that spawns its future thread had executed — the unstructured-futures
+  /// hazard of Figure 3. Always zero for structured computations.
+  std::uint64_t premature_touches = 0;
+
+  /// Cache misses per processor (empty when cache simulation is off).
+  std::vector<std::uint64_t> misses_per_proc;
+
+  std::uint64_t total_misses() const {
+    std::uint64_t s = 0;
+    for (auto m : misses_per_proc) s += m;
+    return s;
+  }
+};
+
+}  // namespace wsf::sched

@@ -1,0 +1,129 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace wsf::support {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+ArgParser::IntFlag& ArgParser::add_int(const std::string& name,
+                                       std::int64_t def,
+                                       const std::string& help) {
+  WSF_REQUIRE(!entries_.count(name), "duplicate flag --" << name);
+  ints_.push_back(std::make_unique<IntFlag>(IntFlag{def}));
+  auto* f = ints_.back().get();
+  entries_[name] = {Kind::Int, help, std::to_string(def), ints_.size() - 1};
+  return *f;
+}
+
+ArgParser::DoubleFlag& ArgParser::add_double(const std::string& name,
+                                             double def,
+                                             const std::string& help) {
+  WSF_REQUIRE(!entries_.count(name), "duplicate flag --" << name);
+  doubles_.push_back(std::make_unique<DoubleFlag>(DoubleFlag{def}));
+  auto* f = doubles_.back().get();
+  entries_[name] = {Kind::Double, help, std::to_string(def),
+                    doubles_.size() - 1};
+  return *f;
+}
+
+ArgParser::StringFlag& ArgParser::add_string(const std::string& name,
+                                             const std::string& def,
+                                             const std::string& help) {
+  WSF_REQUIRE(!entries_.count(name), "duplicate flag --" << name);
+  strings_.push_back(std::make_unique<StringFlag>(StringFlag{def}));
+  auto* f = strings_.back().get();
+  entries_[name] = {Kind::String, help, def, strings_.size() - 1};
+  return *f;
+}
+
+ArgParser::BoolFlag& ArgParser::add_bool(const std::string& name, bool def,
+                                         const std::string& help) {
+  WSF_REQUIRE(!entries_.count(name), "duplicate flag --" << name);
+  bools_.push_back(std::make_unique<BoolFlag>(BoolFlag{def}));
+  auto* f = bools_.back().get();
+  entries_[name] = {Kind::Bool, help, def ? "true" : "false",
+                    bools_.size() - 1};
+  return *f;
+}
+
+void ArgParser::set_value(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  WSF_REQUIRE(it != entries_.end(), "unknown flag --" << name);
+  const Entry& e = it->second;
+  switch (e.kind) {
+    case Kind::Int: {
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      WSF_REQUIRE(end && *end == '\0',
+                  "flag --" << name << " expects an integer, got '" << value
+                            << "'");
+      ints_[e.index]->value = v;
+      break;
+    }
+    case Kind::Double: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      WSF_REQUIRE(end && *end == '\0',
+                  "flag --" << name << " expects a number, got '" << value
+                            << "'");
+      doubles_[e.index]->value = v;
+      break;
+    }
+    case Kind::String:
+      strings_[e.index]->value = value;
+      break;
+    case Kind::Bool:
+      WSF_REQUIRE(value == "true" || value == "false" || value == "1" ||
+                      value == "0",
+                  "flag --" << name << " expects true/false, got '" << value
+                            << "'");
+      bools_[e.index]->value = (value == "true" || value == "1");
+      break;
+  }
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    WSF_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got '" << arg
+                                                                  << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_value(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = entries_.find(arg);
+    WSF_REQUIRE(it != entries_.end(), "unknown flag --" << arg);
+    if (it->second.kind == Kind::Bool) {
+      bools_[it->second.index]->value = true;  // bare switch form
+      continue;
+    }
+    WSF_REQUIRE(i + 1 < argc, "flag --" << arg << " needs a value");
+    set_value(arg, argv[++i]);
+  }
+  return true;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, e] : entries_) {
+    os << "  --" << name << "  (default: " << e.default_repr << ")\n      "
+       << e.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsf::support

@@ -1,0 +1,57 @@
+// Minimal move-only type-erased callable (std::move_only_function is C++23;
+// this is the subset the runtime needs). Futures are move-only, so task
+// closures that capture them cannot live in std::function.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace wsf::support {
+
+template <typename Signature>
+class MoveOnlyFunction;
+
+template <typename R, typename... Args>
+class MoveOnlyFunction<R(Args...)> {
+ public:
+  MoveOnlyFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, MoveOnlyFunction>>>
+  MoveOnlyFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {
+  }
+
+  MoveOnlyFunction(MoveOnlyFunction&&) noexcept = default;
+  MoveOnlyFunction& operator=(MoveOnlyFunction&&) noexcept = default;
+  MoveOnlyFunction(const MoveOnlyFunction&) = delete;
+  MoveOnlyFunction& operator=(const MoveOnlyFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    WSF_REQUIRE(impl_ != nullptr, "call of an empty MoveOnlyFunction");
+    return impl_->call(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R call(Args... args) = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R call(Args... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace wsf::support

@@ -1,0 +1,32 @@
+#include "support/rng.hpp"
+
+#include "support/check.hpp"
+
+namespace wsf::support {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  WSF_REQUIRE(bound != 0, "below() requires a nonzero bound");
+  // Lemire's multiply-shift rejection sampling: unbiased and branch-light.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_index) {
+  // Mix the stream index into the base seed through SplitMix64 so adjacent
+  // indices yield decorrelated streams.
+  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (stream_index + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace wsf::support

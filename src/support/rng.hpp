@@ -1,0 +1,97 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every randomized component in this repository (victim selection, stall
+// injection, random DAG generation) draws from these generators so that every
+// experiment is exactly reproducible from its seed. We implement
+// SplitMix64 (for seeding) and xoshiro256** (for streams) rather than using
+// std::mt19937 because their state is trivially copyable, they are fast, and
+// their output is identical across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace wsf::support {
+
+/// SplitMix64: tiny generator used to expand a single 64-bit seed into
+/// well-distributed state for other generators (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose generator (Blackman & Vigna). Satisfies the
+/// C++ UniformRandomBitGenerator concept so it can drive std distributions,
+/// though we provide bias-free helpers below and prefer those.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method
+  /// (bias-free). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives a fresh, decorrelated seed for a named sub-stream. Used to give
+/// each simulated processor / generator its own independent stream from one
+/// experiment seed.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_index);
+
+}  // namespace wsf::support

@@ -1,0 +1,101 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace wsf::support {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  // Integers print without a decimal point; otherwise 4 decimals, trimmed.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  std::string s = buf;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WSF_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  WSF_REQUIRE(!rows_.empty(), "call row() before add()");
+  WSF_REQUIRE(rows_.back().size() < headers_.size(),
+              "row already has " << headers_.size() << " cells");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+Table& Table::add(double v) { return add(format_double(v)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "  ";
+      // Right-align everything; numeric columns dominate bench output.
+      os << std::string(widths[c] - cell.size(), ' ') << cell;
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto sanitize = [](std::string s) {
+    std::replace(s.begin(), s.end(), ',', ';');
+    return s;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << sanitize(headers_[c]);
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << (c ? "," : "") << sanitize(r[c]);
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("%s\n%s\n", title.c_str(), to_string().c_str());
+}
+
+}  // namespace wsf::support

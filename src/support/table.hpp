@@ -1,0 +1,51 @@
+// Aligned plain-text table printer used by the benchmark harnesses to emit
+// the paper-shaped result rows, with optional CSV output for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wsf::support {
+
+/// Collects rows of string/number cells and renders them either as an
+/// aligned ASCII table (human-readable bench output) or CSV.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Table& add(unsigned v) { return add(static_cast<std::uint64_t>(v)); }
+  /// Doubles are rendered with up to 4 significant decimals, trimming
+  /// trailing zeros, so ratio columns stay readable.
+  Table& add(double v);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the aligned table (with a separator under the header).
+  std::string to_string() const;
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
+  /// numeric output; commas in cells are replaced with ';').
+  std::string to_csv() const;
+
+  /// Convenience: print to stdout with a title line.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like Table::add(double): compact fixed notation.
+std::string format_double(double v);
+
+}  // namespace wsf::support

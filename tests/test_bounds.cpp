@@ -1,0 +1,49 @@
+// Bound formula sanity (core/bounds.hpp) and cross-checks against the
+// quantities the benches divide by.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+
+namespace wsf::core {
+namespace {
+
+TEST(Bounds, AbpStealBound) {
+  EXPECT_DOUBLE_EQ(abp_steal_bound(4, 100), 400.0);
+  EXPECT_DOUBLE_EQ(abp_steal_bound(1, 1), 1.0);
+}
+
+TEST(Bounds, StructuredDeviationBoundQuadraticInSpan) {
+  EXPECT_DOUBLE_EQ(structured_deviation_bound(2, 10), 200.0);
+  EXPECT_DOUBLE_EQ(structured_deviation_bound(2, 20), 800.0);  // 4x
+}
+
+TEST(Bounds, MissBoundIsCTimesDeviationBound) {
+  EXPECT_DOUBLE_EQ(structured_miss_bound(16, 2, 10),
+                   16.0 * structured_deviation_bound(2, 10));
+}
+
+TEST(Bounds, ParentFirstBoundsLinearInTouchesAndSpan) {
+  EXPECT_DOUBLE_EQ(parent_first_deviation_bound(5, 7), 35.0);
+  EXPECT_DOUBLE_EQ(parent_first_miss_bound(3, 5, 7), 105.0);
+}
+
+TEST(Bounds, UnstructuredDominatesStructuredPerTouch) {
+  // Ω(P·T∞ + t·T∞) with many touches exceeds the structured O(P·T∞²)
+  // bound once t >> P·T∞ — the regime where discipline pays off.
+  const double unstructured = unstructured_deviation_bound(2, 100000, 50);
+  const double structured = structured_deviation_bound(2, 50);
+  EXPECT_GT(unstructured, structured);
+}
+
+TEST(Bounds, MonotoneInEveryArgument) {
+  EXPECT_LT(structured_deviation_bound(2, 10),
+            structured_deviation_bound(3, 10));
+  EXPECT_LT(structured_deviation_bound(2, 10),
+            structured_deviation_bound(2, 11));
+  EXPECT_LT(structured_miss_bound(4, 2, 10), structured_miss_bound(5, 2, 10));
+  EXPECT_LT(parent_first_deviation_bound(4, 10),
+            parent_first_deviation_bound(5, 10));
+}
+
+}  // namespace
+}  // namespace wsf::core

@@ -1,0 +1,185 @@
+// Cache model unit and property tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace wsf::cache {
+namespace {
+
+using core::BlockId;
+
+std::vector<BlockId> random_trace(std::uint64_t seed, std::size_t len,
+                                  std::uint64_t universe) {
+  support::Xoshiro256 rng(seed);
+  std::vector<BlockId> t;
+  t.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    t.push_back(static_cast<BlockId>(rng.below(universe)));
+  return t;
+}
+
+std::uint64_t misses_on(CacheModel& c, const std::vector<BlockId>& trace) {
+  std::uint64_t m = 0;
+  for (BlockId b : trace)
+    if (c.access(b)) ++m;
+  return m;
+}
+
+TEST(Lru, ColdMissThenHit) {
+  auto c = make_lru(4);
+  EXPECT_TRUE(c->access(1));
+  EXPECT_FALSE(c->access(1));
+  EXPECT_EQ(c->misses(), 1u);
+  EXPECT_EQ(c->hits(), 1u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  auto c = make_lru(2);
+  c->access(1);
+  c->access(2);
+  c->access(1);         // 2 is now LRU
+  c->access(3);         // evicts 2
+  EXPECT_TRUE(c->contains(1));
+  EXPECT_FALSE(c->contains(2));
+  EXPECT_TRUE(c->contains(3));
+}
+
+TEST(Lru, SweepOverCPlusOneThrashes) {
+  // The classic pattern behind the paper's lower bounds: cyclically sweeping
+  // C+1 blocks misses on every access.
+  const std::size_t C = 6;
+  auto c = make_lru(C);
+  for (int round = 0; round < 5; ++round)
+    for (BlockId b = 0; b <= static_cast<BlockId>(C); ++b)
+      EXPECT_TRUE(c->access(b)) << "round " << round << " block " << b;
+}
+
+TEST(Lru, PalindromeSweepHitsAfterWarmup) {
+  // Ascending then descending over exactly C blocks: everything after the
+  // cold pass hits — the palindrome trick used by the fig6a gadget.
+  const std::size_t C = 6;
+  auto c = make_lru(C);
+  for (BlockId b = 1; b <= static_cast<BlockId>(C); ++b) c->access(b);
+  const auto cold = c->misses();
+  for (int round = 0; round < 4; ++round) {
+    for (BlockId b = static_cast<BlockId>(C); b >= 1; --b)
+      EXPECT_FALSE(c->access(b));
+    for (BlockId b = 1; b <= static_cast<BlockId>(C); ++b)
+      EXPECT_FALSE(c->access(b));
+  }
+  EXPECT_EQ(c->misses(), cold);
+}
+
+TEST(Lru, InclusionProperty) {
+  // LRU is a stack algorithm: a larger cache never misses more on the same
+  // trace.
+  const auto trace = random_trace(123, 4000, 64);
+  std::uint64_t prev = UINT64_MAX;
+  for (std::size_t C : {4u, 8u, 16u, 32u, 64u}) {
+    auto c = make_lru(C);
+    const auto m = misses_on(*c, trace);
+    EXPECT_LE(m, prev) << "C=" << C;
+    prev = m;
+  }
+}
+
+TEST(Lru, ResetClearsEverything) {
+  auto c = make_lru(2);
+  c->access(1);
+  c->reset();
+  EXPECT_EQ(c->misses(), 0u);
+  EXPECT_EQ(c->accesses(), 0u);
+  EXPECT_FALSE(c->contains(1));
+}
+
+TEST(Fifo, EvictsOldestRegardlessOfUse) {
+  auto c = make_fifo(2);
+  c->access(1);
+  c->access(2);
+  c->access(1);  // refreshes recency but not FIFO order
+  c->access(3);  // evicts 1 (oldest inserted)
+  EXPECT_FALSE(c->contains(1));
+  EXPECT_TRUE(c->contains(2));
+  EXPECT_TRUE(c->contains(3));
+}
+
+TEST(Direct, ConflictMissesOnAliasedBlocks) {
+  auto c = make_direct_mapped(4);
+  EXPECT_TRUE(c->access(0));
+  EXPECT_TRUE(c->access(4));   // same line as 0
+  EXPECT_TRUE(c->access(0));   // conflict again
+  EXPECT_FALSE(c->contains(4));
+}
+
+TEST(Direct, DistinctLinesCoexist) {
+  auto c = make_direct_mapped(4);
+  for (BlockId b = 0; b < 4; ++b) c->access(b);
+  for (BlockId b = 0; b < 4; ++b) EXPECT_FALSE(c->access(b));
+}
+
+TEST(SetAssoc, FullyAssociativeMatchesLru) {
+  // A C-way single-set cache is exactly LRU.
+  const auto trace = random_trace(9, 3000, 32);
+  auto lru = make_lru(8);
+  auto assoc = make_set_associative(8, 8);
+  EXPECT_EQ(misses_on(*lru, trace), misses_on(*assoc, trace));
+}
+
+TEST(SetAssoc, WithinSetLruOrder) {
+  // 2 sets × 2 ways; even blocks map to set 0.
+  auto c = make_set_associative(4, 2);
+  c->access(0);
+  c->access(2);
+  c->access(0);  // 2 is LRU within set 0
+  c->access(4);  // evicts 2
+  EXPECT_TRUE(c->contains(0));
+  EXPECT_FALSE(c->contains(2));
+  EXPECT_TRUE(c->contains(4));
+}
+
+TEST(SetAssoc, RejectsIndivisibleGeometry) {
+  EXPECT_THROW(make_set_associative(6, 4), wsf::CheckError);
+}
+
+TEST(Factory, BuildsEveryPolicy) {
+  for (const char* name : {"lru", "fifo", "direct", "assoc2"}) {
+    auto c = make_cache(name, 8);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_EQ(c->capacity(), 8u) << name;
+    c->access(3);
+    EXPECT_TRUE(c->contains(3)) << name;
+  }
+}
+
+TEST(Factory, RejectsUnknownPolicy) {
+  EXPECT_THROW(make_cache("plru", 8), wsf::CheckError);
+}
+
+TEST(AllPolicies, MissCountNeverExceedsAccesses) {
+  const auto trace = random_trace(77, 2000, 24);
+  for (const char* name : {"lru", "fifo", "direct", "assoc4"}) {
+    auto c = make_cache(name, 8);
+    const auto m = misses_on(*c, trace);
+    EXPECT_LE(m, trace.size()) << name;
+    EXPECT_GE(m, 24u) << name << " must at least cold-miss the universe";
+    EXPECT_EQ(c->accesses(), trace.size()) << name;
+  }
+}
+
+TEST(AllPolicies, SingleLineCacheHitsOnlyRepeats) {
+  for (const char* name : {"lru", "fifo", "direct", "assoc1"}) {
+    auto c = make_cache(name, 1);
+    EXPECT_TRUE(c->access(1)) << name;
+    EXPECT_FALSE(c->access(1)) << name;
+    EXPECT_TRUE(c->access(2)) << name;
+    EXPECT_TRUE(c->access(1)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wsf::cache

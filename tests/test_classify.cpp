@@ -1,0 +1,154 @@
+// Classification (Definitions 1, 2, 3, 13, 17) against every generator's
+// declared expectation — the central static cross-check of the repo.
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "graphs/generators.hpp"
+#include "graphs/registry.hpp"
+
+namespace wsf {
+namespace {
+
+using core::StructureReport;
+using graphs::GeneratedDag;
+
+void expect_matches(const GeneratedDag& d) {
+  const StructureReport r = core::classify(d.graph);
+  auto check = [&](int expected, bool actual, const char* what) {
+    if (expected < 0) return;
+    EXPECT_EQ(static_cast<bool>(expected), actual)
+        << d.name << ": " << what << " mismatch; violations:\n"
+        << [&] {
+             std::string s;
+             for (const auto& v : r.violations) s += "  " + v + "\n";
+             return s;
+           }();
+  };
+  check(d.expect.structured, r.structured, "structured");
+  check(d.expect.single_touch, r.single_touch, "single_touch");
+  check(d.expect.local_touch, r.local_touch, "local_touch");
+  check(d.expect.fork_join, r.fork_join, "fork_join");
+  check(d.expect.single_touch_super, r.single_touch_super,
+        "single_touch_super");
+  check(d.expect.local_touch_super, r.local_touch_super,
+        "local_touch_super");
+}
+
+TEST(Classify, SerialChain) { expect_matches(graphs::serial_chain(5)); }
+
+TEST(Classify, ForkJoinTree) {
+  expect_matches(graphs::binary_forkjoin_tree(3, 2));
+}
+
+TEST(Classify, FibDag) { expect_matches(graphs::fib_dag(8)); }
+
+TEST(Classify, FutureChainVariants) {
+  expect_matches(graphs::future_chain(1, 2, 0));
+  expect_matches(graphs::future_chain(2, 2, 0));
+  expect_matches(graphs::future_chain(6, 1, 4));
+}
+
+TEST(Classify, Pipeline) {
+  expect_matches(graphs::pipeline(1, 1, 0));
+  expect_matches(graphs::pipeline(2, 3, 0));
+  expect_matches(graphs::pipeline(3, 4, 2));
+}
+
+TEST(Classify, Fig3Unstructured) { expect_matches(graphs::fig3(4)); }
+
+TEST(Classify, Fig4BothOrders) {
+  expect_matches(graphs::fig4(2, true));
+  expect_matches(graphs::fig4(2, false));
+}
+
+TEST(Classify, Fig5aOrders) {
+  expect_matches(graphs::fig5a({0}));
+  expect_matches(graphs::fig5a({1, 0}));       // LIFO → fork-join
+  expect_matches(graphs::fig5a({0, 1}));       // FIFO → not fork-join
+  expect_matches(graphs::fig5a({2, 0, 1}));    // priority order
+}
+
+TEST(Classify, Fig5b) { expect_matches(graphs::fig5b(3)); }
+
+TEST(Classify, Fig6Family) {
+  expect_matches(graphs::fig6a(4, 3));
+  expect_matches(graphs::fig6b(3, 3, 0));
+  expect_matches(graphs::fig6c(2, 2, 3, 0));
+}
+
+TEST(Classify, Fig7Family) {
+  expect_matches(graphs::fig7a(5, 3));
+  expect_matches(graphs::fig7b(4, 5, 3));
+}
+
+TEST(Classify, Fig8) { expect_matches(graphs::fig8(2, 4, 2)); }
+
+class RandomSingleTouchClassify : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSingleTouchClassify, AlwaysSingleTouch) {
+  graphs::RandomDagParams p;
+  p.seed = static_cast<std::uint64_t>(GetParam());
+  p.target_nodes = 300;
+  expect_matches(graphs::random_single_touch(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSingleTouchClassify,
+                         ::testing::Range(1, 26));
+
+class RandomSingleTouchSuperClassify : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(RandomSingleTouchSuperClassify, AlwaysDef13) {
+  graphs::RandomDagParams p;
+  p.seed = static_cast<std::uint64_t>(GetParam());
+  p.target_nodes = 300;
+  p.side_effect_prob = 0.3;
+  const auto d = graphs::random_single_touch(p);
+  expect_matches(d);
+  const auto r = core::classify(d.graph);
+  EXPECT_TRUE(r.single_touch_super);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSingleTouchSuperClassify,
+                         ::testing::Range(1, 16));
+
+class RandomLocalTouchClassify : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLocalTouchClassify, AlwaysLocalTouch) {
+  graphs::RandomDagParams p;
+  p.seed = static_cast<std::uint64_t>(GetParam());
+  p.target_nodes = 300;
+  expect_matches(graphs::random_local_touch(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLocalTouchClassify,
+                         ::testing::Range(1, 26));
+
+TEST(Classify, LifoRandomSingleTouchIsForkJoinFreeOfPassing) {
+  graphs::RandomDagParams p;
+  p.seed = 7;
+  p.target_nodes = 200;
+  p.shuffle_touch_order = false;
+  p.pass_prob = 0.0;
+  const auto d = graphs::random_single_touch(p);
+  const auto r = core::classify(d.graph);
+  // LIFO touches without passing are exactly fork-join computations.
+  EXPECT_TRUE(r.fork_join) << "seed 7 should yield a fork-join DAG";
+  EXPECT_TRUE(r.single_touch);
+  EXPECT_TRUE(r.local_touch);
+}
+
+TEST(Classify, RegistryAllNamesProduceValidGraphs) {
+  for (const auto& name : graphs::registry_names()) {
+    graphs::RegistryParams p;
+    p.size = 4;
+    p.size2 = 3;
+    p.cache_lines = 2;
+    const auto d = graphs::make_named(name, p);
+    EXPECT_GT(d.graph.num_nodes(), 0u) << name;
+    expect_matches(d);
+  }
+}
+
+}  // namespace
+}  // namespace wsf

@@ -1,0 +1,240 @@
+// Quantitative checks of the paper's lower-bound constructions under the
+// exact adversarial schedules the proofs describe. These tests pin the
+// *shape* of every headline claim:
+//   * fig6a / future_chain: one steal ⇒ Θ(m) deviations, Θ(m·C) additional
+//     misses under future-first, sequential stays at O(m + C) (Theorem 9);
+//   * fig7a: stealing {s} ⇒ Θ(n) deviations, Ω(n·C) additional misses under
+//     parent-first, sequential stays at O(C) (Figure 2 / Theorem 10);
+//   * fig7b / fig8: one steal at the start propagates to the tail(s);
+//   * fig6b/fig6c: the self-organizing 3-processor (3·groups) rotation
+//     accumulates Θ(k·m) (Θ(groups·k·m)) deviations.
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "graphs/fig6_controller.hpp"
+#include "graphs/generators.hpp"
+#include "sched/harness.hpp"
+
+namespace wsf {
+namespace {
+
+using core::ForkPolicy;
+using graphs::Fig6Controller;
+using sched::ExperimentResult;
+using sched::ScriptController;
+using sched::SimOptions;
+
+// ---------------------------------------------------------------------------
+// fig6a — Theorem 9 gadget under future-first
+// ---------------------------------------------------------------------------
+
+ExperimentResult run_fig6a(std::uint32_t m, std::size_t C) {
+  auto gen = graphs::fig6a(m, C);
+  SimOptions opts;
+  opts.procs = 2;
+  opts.policy = ForkPolicy::FutureFirst;
+  opts.cache_lines = C;
+  Fig6Controller ctrl;
+  return sched::run_experiment(gen.graph, opts, &ctrl);
+}
+
+TEST(Fig6a, IsCertifiedSingleTouch) {
+  const auto gen = graphs::fig6a(8, 4);
+  const auto report = core::classify(gen.graph);
+  EXPECT_TRUE(report.structured);
+  EXPECT_TRUE(report.single_touch);
+  EXPECT_FALSE(report.fork_join);
+}
+
+TEST(Fig6a, OneStealCostsThetaMDeviations) {
+  for (std::uint32_t m : {4u, 8u, 16u, 32u}) {
+    const auto r = run_fig6a(m, /*C=*/0);
+    EXPECT_EQ(r.par.steals, 1u) << "m=" << m;
+    // Derivation: stolen f_2 plus f_3…f_m and g deviate on the thief; the
+    // touches x_1…x_m deviate on the owner ⇒ about 2m deviations.
+    EXPECT_GE(r.deviations.deviations, 2 * m - 2) << "m=" << m;
+    EXPECT_LE(r.deviations.deviations, 2 * m + 4) << "m=" << m;
+  }
+}
+
+TEST(Fig6a, OneStealCostsThetaMCAdditionalMisses) {
+  const std::size_t C = 8;
+  for (std::uint32_t m : {4u, 8u, 16u}) {
+    const auto r = run_fig6a(m, C);
+    // Sequential: palindrome keeps it near C + 2m.
+    EXPECT_LE(r.seq.misses, C + 3 * m + 4) << "m=" << m;
+    // Parallel: the thief's start-chain sweeps thrash: ≥ (m-1)(C-1) extra.
+    EXPECT_GE(r.additional_misses,
+              static_cast<std::int64_t>((m - 1) * (C - 2)))
+        << "m=" << m;
+  }
+}
+
+TEST(Fig6a, DeviationsAreOnlyTouchesAndForkChildren) {
+  const auto r = run_fig6a(16, 4);
+  // Section 5.1: in a single-touch computation only touches and fork
+  // children can deviate.
+  EXPECT_EQ(r.deviations.other_deviations, 0u);
+  EXPECT_GT(r.deviations.touch_deviations, 0u);
+  EXPECT_GT(r.deviations.fork_child_deviations, 0u);
+}
+
+TEST(Fig6a, NoStealNoDeviation) {
+  auto gen = graphs::fig6a(8, 4);
+  SimOptions opts;
+  opts.procs = 1;
+  opts.policy = ForkPolicy::FutureFirst;
+  opts.cache_lines = 4;
+  const auto r = sched::run_experiment(gen.graph, opts);
+  EXPECT_EQ(r.par.steals, 0u);
+  EXPECT_EQ(r.deviations.deviations, 0u);
+  EXPECT_EQ(r.additional_misses, 0);
+}
+
+// ---------------------------------------------------------------------------
+// fig6b / fig6c — composed Theorem 9 lower bound
+// ---------------------------------------------------------------------------
+
+TEST(Fig6b, ThreeProcessorRotationAccumulatesKM) {
+  const std::uint32_t k = 6, m = 8;
+  auto gen = graphs::fig6b(k, m, /*C=*/0);
+  ASSERT_TRUE(core::classify(gen.graph).single_touch);
+  SimOptions opts;
+  opts.procs = 3;
+  opts.policy = ForkPolicy::FutureFirst;
+  Fig6Controller ctrl;
+  const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+  // Each of the k gadgets should dance: ≈ 2m deviations per gadget.
+  EXPECT_GE(r.deviations.deviations, k * m) << "got too few deviations";
+  EXPECT_GE(r.par.steals, k) << "spine + f-steals expected";
+}
+
+TEST(Fig6c, ParallelGroupsScaleDeviationsWithP) {
+  const std::uint32_t k = 4, m = 6;
+  std::uint64_t prev_devs = 0;
+  for (std::uint32_t groups : {1u, 2u, 4u}) {
+    auto gen = graphs::fig6c(groups, k, m, /*C=*/0);
+    ASSERT_TRUE(core::classify(gen.graph).single_touch);
+    SimOptions opts;
+    opts.procs = 3 * groups;
+    opts.policy = ForkPolicy::FutureFirst;
+    Fig6Controller ctrl;
+    const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+    EXPECT_GE(r.deviations.deviations, groups * k * m / 2)
+        << "groups=" << groups;
+    EXPECT_GT(r.deviations.deviations, prev_devs) << "groups=" << groups;
+    prev_devs = r.deviations.deviations;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fig7a — Figure 2 / Theorem 10 gadget under parent-first
+// ---------------------------------------------------------------------------
+
+ExperimentResult run_fig7a(std::uint32_t n, std::size_t C) {
+  auto gen = graphs::fig7a(n, C);
+  SimOptions opts;
+  opts.procs = 2;
+  opts.policy = ForkPolicy::ParentFirst;
+  opts.cache_lines = C;
+  ScriptController ctrl;
+  ctrl.sleep_after("s", 1).prefer_victim(1, {0});
+  return sched::run_experiment(gen.graph, opts, &ctrl);
+}
+
+TEST(Fig7a, IsCertifiedSingleTouchAndLocalTouch) {
+  const auto gen = graphs::fig7a(6, 4);
+  const auto report = core::classify(gen.graph);
+  EXPECT_TRUE(report.structured);
+  EXPECT_TRUE(report.single_touch);
+  EXPECT_TRUE(report.local_touch);
+}
+
+TEST(Fig7a, SequentialParentFirstIsCheap) {
+  const std::uint32_t n = 16;
+  const std::size_t C = 8;
+  auto gen = graphs::fig7a(n, C);
+  SimOptions opts;
+  opts.policy = ForkPolicy::ParentFirst;
+  opts.cache_lines = C;
+  const auto seq = sched::run_sequential(gen.graph, opts);
+  // O(C) misses: one m1 load, C-1 from the first Z sweep, one y-block.
+  EXPECT_LE(seq.misses, C + 4);
+}
+
+TEST(Fig7a, OneStealCostsNDeviationsAndNCMisses) {
+  const std::size_t C = 8;
+  for (std::uint32_t n : {4u, 8u, 16u}) {
+    const auto r = run_fig7a(n, C);
+    EXPECT_EQ(r.par.steals, 1u) << "n=" << n;
+    // v and every y_i deviate, and so do the popped z_i1 fork children
+    // (both kinds Theorem 8 allows) — about 2n in total.
+    EXPECT_GE(r.deviations.deviations, n) << "n=" << n;
+    EXPECT_LE(r.deviations.deviations, 3 * n + 6) << "n=" << n;
+    // Each (Z_i, y_i) pair after the first costs about C+1 misses.
+    EXPECT_GE(r.additional_misses,
+              static_cast<std::int64_t>((n - 2) * (C - 1)))
+        << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fig7b — parity chain propagation
+// ---------------------------------------------------------------------------
+
+TEST(Fig7b, OneEarlyStealFlipsTheTail) {
+  const std::uint32_t k = 8, n = 16;
+  const std::size_t C = 8;
+  auto gen = graphs::fig7b(k, n, C);
+  ASSERT_TRUE(core::classify(gen.graph).single_touch);
+  SimOptions opts;
+  opts.procs = 2;
+  opts.policy = ForkPolicy::ParentFirst;
+  opts.cache_lines = C;
+
+  // Sequential baseline is cheap even with the stage chain in front.
+  const auto seq = sched::run_sequential(gen.graph, opts);
+  EXPECT_LE(seq.misses, C + k + 6);
+
+  ScriptController ctrl;
+  ctrl.sleep_after("s[1]", 1).prefer_victim(1, {0});
+  const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+  EXPECT_EQ(r.par.steals, 1u);
+  // The tail thrash dominates: about n deviations and n·C extra misses.
+  EXPECT_GE(r.deviations.deviations, n);
+  EXPECT_GE(r.additional_misses,
+            static_cast<std::int64_t>((n - 2) * (C - 1)));
+}
+
+// ---------------------------------------------------------------------------
+// fig8 — Theorem 10: Ω(t·T∞) deviations from one steal
+// ---------------------------------------------------------------------------
+
+TEST(Fig8, OneStealDeviatesEveryLeafTail) {
+  const std::uint32_t depth = 3, n = 8;  // 2^3 = 8 leaves
+  const std::size_t C = 4;
+  auto gen = graphs::fig8(depth, n, C);
+  ASSERT_TRUE(core::classify(gen.graph).single_touch);
+  SimOptions opts;
+  opts.procs = 2;
+  opts.policy = ForkPolicy::ParentFirst;
+  opts.cache_lines = C;
+
+  const auto seq = sched::run_sequential(gen.graph, opts);
+
+  ScriptController ctrl;
+  ctrl.sleep_after("s[1]", 1).prefer_victim(1, {0});
+  const auto r = sched::run_experiment(gen.graph, opts, &ctrl);
+  EXPECT_EQ(r.par.steals, 1u);
+  const std::uint64_t leaves = 1u << depth;
+  // Every leaf tail contributes ≈ n deviations once flipped.
+  EXPECT_GE(r.deviations.deviations, leaves * n / 2)
+      << "expected most of the " << leaves << " leaf tails to deviate";
+  EXPECT_GE(r.additional_misses,
+            static_cast<std::int64_t>(leaves * (n - 2) * (C - 1) / 2));
+  // Sequential execution stays near O(C + t).
+  EXPECT_LE(seq.misses, C + leaves * 8 + 16);
+}
+
+}  // namespace
+}  // namespace wsf

@@ -1,0 +1,102 @@
+// Deviation counting (Section 4, Acar et al.'s drifted nodes).
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "core/deviation.hpp"
+#include "graphs/generators.hpp"
+#include "sched/harness.hpp"
+
+namespace wsf {
+namespace {
+
+using core::count_deviations;
+using core::NodeId;
+
+TEST(Deviation, IdenticalScheduleHasNone) {
+  const auto gen = graphs::fib_dag(8);
+  sched::SimOptions opts;
+  const auto seq = sched::run_sequential(gen.graph, opts);
+  const auto r = count_deviations(gen.graph, seq.order, {seq.order});
+  EXPECT_EQ(r.deviations, 0u);
+}
+
+TEST(Deviation, SplitAtStealPointCountsOnce) {
+  // Processor 0 runs a prefix, processor 1 the suffix: only the first node
+  // of the suffix deviates (its seq predecessor ran on the other proc).
+  const auto gen = graphs::serial_chain(10);
+  sched::SimOptions opts;
+  const auto seq = sched::run_sequential(gen.graph, opts);
+  std::vector<NodeId> a(seq.order.begin(), seq.order.begin() + 4);
+  std::vector<NodeId> b(seq.order.begin() + 4, seq.order.end());
+  const auto r = count_deviations(gen.graph, seq.order, {a, b});
+  EXPECT_EQ(r.deviations, 1u);
+  EXPECT_TRUE(r.is_deviation[seq.order[4]]);
+}
+
+TEST(Deviation, FirstNodeNeverDeviates) {
+  const auto gen = graphs::serial_chain(5);
+  sched::SimOptions opts;
+  const auto seq = sched::run_sequential(gen.graph, opts);
+  const auto r = count_deviations(gen.graph, seq.order, {seq.order});
+  EXPECT_FALSE(r.is_deviation[seq.order[0]]);
+}
+
+TEST(Deviation, ReorderWithinProcessorCounts) {
+  // Execute two independent siblings in the non-sequential order.
+  const auto gen = graphs::fig4(2, true);
+  sched::SimOptions opts;
+  const auto seq = sched::run_sequential(gen.graph, opts);
+  // Parallel run with stalls to force a different interleaving.
+  opts.procs = 2;
+  opts.stall_prob = 0.4;
+  opts.seed = 5;
+  const auto par = sched::simulate(gen.graph, opts);
+  const auto r = count_deviations(gen.graph, seq.order, par.proc_orders);
+  // Whatever happened, the counter and flags must agree.
+  std::size_t flagged = 0;
+  for (char f : r.is_deviation) flagged += f;
+  EXPECT_EQ(flagged, r.deviations);
+  EXPECT_EQ(r.touch_deviations + r.fork_child_deviations +
+                r.other_deviations,
+            r.deviations);
+}
+
+TEST(Deviation, RejectsIncompleteCoverage) {
+  const auto gen = graphs::serial_chain(5);
+  sched::SimOptions opts;
+  const auto seq = sched::run_sequential(gen.graph, opts);
+  std::vector<NodeId> partial(seq.order.begin(), seq.order.begin() + 3);
+  EXPECT_THROW(count_deviations(gen.graph, seq.order, {partial}),
+               CheckError);
+}
+
+TEST(Deviation, SingleTouchBreakdownHasNoOtherKind) {
+  // Theorem 8's structural fact: on structured single-touch computations
+  // only touches and fork children can deviate (future-first policy).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    graphs::RandomDagParams p;
+    p.seed = seed;
+    p.target_nodes = 300;
+    const auto gen = graphs::random_single_touch(p);
+    sched::SimOptions opts;
+    opts.procs = 4;
+    opts.seed = seed;
+    opts.stall_prob = 0.3;
+    opts.policy = core::ForkPolicy::FutureFirst;
+    const auto r = sched::run_experiment(gen.graph, opts);
+    EXPECT_EQ(r.deviations.other_deviations, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Deviation, ZeroWhenNoStealHappens) {
+  const auto gen = graphs::fib_dag(9);
+  sched::SimOptions opts;
+  opts.procs = 1;
+  const auto r = sched::run_experiment(gen.graph, opts);
+  EXPECT_EQ(r.par.steals, 0u);
+  EXPECT_EQ(r.deviations.deviations, 0u);
+}
+
+}  // namespace
+}  // namespace wsf

@@ -1,0 +1,157 @@
+// Structural checks of the generators: closed-form sizes, roles, spans.
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "graphs/generators.hpp"
+#include "graphs/registry.hpp"
+#include "support/check.hpp"
+
+namespace wsf {
+namespace {
+
+using core::compute_stats;
+
+TEST(Generators, SerialChainSizes) {
+  for (std::size_t len : {1u, 2u, 10u, 100u}) {
+    const auto g = graphs::serial_chain(len);
+    EXPECT_EQ(g.graph.num_nodes(), len);
+    EXPECT_EQ(core::span(g.graph), len);
+    EXPECT_EQ(g.graph.num_threads(), 1u);
+  }
+}
+
+TEST(Generators, ForkJoinTreeClosedForm) {
+  for (std::uint32_t depth : {0u, 1u, 2u, 3u, 4u}) {
+    const auto g = graphs::binary_forkjoin_tree(depth, 1);
+    const auto s = compute_stats(g.graph);
+    // 2^depth leaves; internal nodes contribute one fork + one touch each.
+    EXPECT_EQ(s.forks, (1u << depth) - 1) << "depth " << depth;
+    EXPECT_EQ(s.touches, (1u << depth) - 1) << "depth " << depth;
+    EXPECT_EQ(s.threads, 1u << depth) << "depth " << depth;
+  }
+}
+
+TEST(Generators, FibThreadCountMatchesRecursion) {
+  // Threads = number of spawns = fib-tree internal nodes with n >= 2.
+  const auto g = graphs::fib_dag(6);
+  const auto s = compute_stats(g.graph);
+  EXPECT_EQ(s.forks, s.touches);
+  EXPECT_EQ(s.threads, s.forks + 1);
+}
+
+TEST(Generators, FutureChainSizes) {
+  const std::uint32_t m = 5;
+  const std::size_t C = 4;
+  const auto g = graphs::future_chain(m, 1, C);
+  const auto s = compute_stats(g.graph);
+  EXPECT_EQ(s.forks, m);
+  EXPECT_EQ(s.touches, m);
+  EXPECT_EQ(s.threads, m + 1u);
+  // Blocks: 1..C plus the poison block C+1.
+  EXPECT_EQ(s.distinct_blocks, C + 1);
+  // Span grows like m*C: the chain t_1 → x_1 → rest_2 → x_2 → …
+  EXPECT_GE(s.span, m * C);
+  // Roles present for the schedule scripts.
+  EXPECT_NE(g.graph.node_by_role("f[1]"), core::kInvalidNode);
+  EXPECT_NE(g.graph.node_by_role("g"), core::kInvalidNode);
+  EXPECT_NE(g.graph.node_by_role("x[5]"), core::kInvalidNode);
+}
+
+TEST(Generators, FutureChainBlockFree) {
+  const auto g = graphs::future_chain(4, 3, 0);
+  EXPECT_EQ(compute_stats(g.graph).distinct_blocks, 0u);
+}
+
+TEST(Generators, PipelineSizes) {
+  const std::uint32_t S = 3, M = 4;
+  const auto g = graphs::pipeline(S, M, 0);
+  const auto s = compute_stats(g.graph);
+  EXPECT_EQ(s.threads, S + 1u);
+  EXPECT_EQ(s.forks, S);
+  // Every stage's M items are touched once by its consumer.
+  EXPECT_EQ(s.touches, S * M);
+}
+
+TEST(Generators, Fig7aSizes) {
+  const std::uint32_t n = 6;
+  const std::size_t C = 4;
+  const auto g = graphs::fig7a(n, C);
+  const auto s = compute_stats(g.graph);
+  EXPECT_EQ(s.forks, n + 1u);     // u_t plus x_1..x_n
+  EXPECT_EQ(s.touches, n + 1u);   // v plus y_1..y_n
+  EXPECT_EQ(s.distinct_blocks, C + 1);
+  EXPECT_NE(g.graph.node_by_role("s"), core::kInvalidNode);
+  EXPECT_NE(g.graph.node_by_role("v"), core::kInvalidNode);
+}
+
+TEST(Generators, Fig7bRoundsKUpToEven) {
+  const auto g = graphs::fig7b(3, 4, 2);
+  EXPECT_NE(g.graph.node_by_role("u[3]"), core::kInvalidNode);
+  EXPECT_EQ(g.graph.node_by_role("u[4]"), core::kInvalidNode);
+}
+
+TEST(Generators, Fig8TouchCountGrowsGeometrically) {
+  const auto d1 = compute_stats(graphs::fig8(1, 4, 2).graph);
+  const auto d3 = compute_stats(graphs::fig8(3, 4, 2).graph);
+  EXPECT_GT(d3.touches, 3 * d1.touches);
+  EXPECT_GT(d3.threads, 3 * d1.threads);
+}
+
+TEST(Generators, Fig6bComposesGadgets) {
+  const std::uint32_t k = 3, m = 4;
+  const auto g = graphs::fig6b(k, m, 0);
+  const auto s = compute_stats(g.graph);
+  EXPECT_EQ(s.threads, 1u + k * (m + 1u));  // spine + k gadgets
+  EXPECT_NE(g.graph.node_by_role("sg[2].f[1]"), core::kInvalidNode);
+  EXPECT_NE(g.graph.node_by_role("sg[3].g"), core::kInvalidNode);
+  EXPECT_NE(g.graph.node_by_role("q[3]"), core::kInvalidNode);
+}
+
+TEST(Generators, Fig6cGroupsMultiplyThreads) {
+  const auto one = compute_stats(graphs::fig6c(1, 2, 3, 0).graph);
+  const auto four = compute_stats(graphs::fig6c(4, 2, 3, 0).graph);
+  EXPECT_GE(four.threads, 4 * one.threads - 4);
+}
+
+TEST(Generators, RandomSingleTouchRespectsTargetSize) {
+  graphs::RandomDagParams p;
+  p.seed = 3;
+  p.target_nodes = 500;
+  const auto g = graphs::random_single_touch(p);
+  EXPECT_GT(g.graph.num_nodes(), 50u);
+  EXPECT_LT(g.graph.num_nodes(), 5000u);
+  EXPECT_GT(g.graph.num_threads(), 2u);
+}
+
+TEST(Generators, RandomDagsDifferBySeed) {
+  graphs::RandomDagParams a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(graphs::random_single_touch(a).graph.num_nodes(),
+            graphs::random_single_touch(b).graph.num_nodes());
+}
+
+TEST(Generators, RandomDagsStableForSeed) {
+  graphs::RandomDagParams p;
+  p.seed = 42;
+  const auto a = graphs::random_single_touch(p);
+  const auto b = graphs::random_single_touch(p);
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_threads(), b.graph.num_threads());
+}
+
+TEST(Generators, RegistryRejectsUnknown) {
+  EXPECT_THROW(graphs::make_named("nope", {}), CheckError);
+}
+
+TEST(Generators, RegistryNamesAllWork) {
+  for (const auto& name : graphs::registry_names()) {
+    graphs::RegistryParams p;
+    p.size = 3;
+    p.size2 = 2;
+    EXPECT_NO_THROW((void)graphs::make_named(name, p)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wsf

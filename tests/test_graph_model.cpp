@@ -1,0 +1,173 @@
+// Builder and Graph model invariants (Section 2.1 conventions).
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/dot.hpp"
+#include "core/graph.hpp"
+#include "support/check.hpp"
+
+namespace wsf::core {
+namespace {
+
+TEST(Builder, MinimalGraphIsRootOnly) {
+  GraphBuilder b;
+  const Graph g = b.finish();
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.root(), g.final_node());
+  EXPECT_EQ(g.num_threads(), 1u);
+}
+
+TEST(Builder, StepExtendsMainThread) {
+  GraphBuilder b;
+  const NodeId a = b.step(b.main_thread());
+  const NodeId c = b.step(b.main_thread());
+  const Graph g = b.finish();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.final_node(), c);
+  EXPECT_EQ(g.node(a).out[0].node, c);
+  EXPECT_EQ(g.node(a).out[0].kind, EdgeKind::Continuation);
+}
+
+TEST(Builder, ForkCreatesFutureThread) {
+  GraphBuilder b;
+  const auto fk = b.fork(b.main_thread());
+  b.step(fk.future_thread);
+  b.step(b.main_thread());
+  b.touch(b.main_thread(), fk.future_thread);
+  const Graph g = b.finish();
+  EXPECT_EQ(g.num_threads(), 2u);
+  EXPECT_TRUE(g.is_fork(fk.fork_node));
+  EXPECT_EQ(g.fork_left_child(fk.fork_node), fk.future_first);
+  EXPECT_EQ(g.thread_of(fk.future_first), fk.future_thread);
+  EXPECT_EQ(g.thread_info(fk.future_thread).fork_node, fk.fork_node);
+  EXPECT_EQ(g.thread_info(fk.future_thread).parent, b.main_thread());
+}
+
+TEST(Builder, TouchRecordsBothParents) {
+  GraphBuilder b;
+  const auto fk = b.fork(b.main_thread());
+  const NodeId body = b.step(fk.future_thread);
+  const NodeId local = b.step(b.main_thread());
+  const NodeId touch = b.touch(b.main_thread(), fk.future_thread);
+  const Graph g = b.finish();
+  EXPECT_TRUE(g.is_touch(touch));
+  EXPECT_EQ(g.future_parent_of(touch), body);
+  EXPECT_EQ(g.local_parent_of(touch), local);
+  EXPECT_EQ(g.future_thread_of(touch), fk.future_thread);
+  EXPECT_EQ(g.corresponding_fork_of(touch), fk.fork_node);
+  EXPECT_TRUE(g.is_future_parent(body));
+}
+
+TEST(Builder, RejectsTouchAsForkChild) {
+  GraphBuilder b;
+  const auto f1 = b.fork(b.main_thread());
+  b.step(f1.future_thread);
+  // The main thread's tail is the fork node; touching now would make the
+  // fork's right child a touch, which the paper's convention forbids.
+  EXPECT_THROW(b.touch(b.main_thread(), f1.future_thread), CheckError);
+}
+
+TEST(Builder, RejectsSelfTouch) {
+  GraphBuilder b;
+  b.step(b.main_thread());
+  EXPECT_THROW(b.touch(b.main_thread(), b.main_thread()), CheckError);
+}
+
+TEST(Builder, RejectsUnfinishedFutureThread) {
+  GraphBuilder b;
+  const auto fk = b.fork(b.main_thread());
+  b.step(fk.future_thread);
+  b.step(b.main_thread());
+  // The future thread never touches anything: finish() must fail because
+  // its last node has no outgoing touch edge.
+  EXPECT_THROW(b.finish(), CheckError);
+}
+
+TEST(Builder, SuperFinalCollectsSideEffectThreads) {
+  GraphBuilder b;
+  const auto fk = b.fork(b.main_thread());
+  b.step(fk.future_thread);
+  b.step(b.main_thread());
+  const Graph g = b.finish_super();
+  EXPECT_TRUE(g.has_super_final());
+  ASSERT_EQ(g.super_final_preds().size(), 1u);
+  EXPECT_EQ(g.thread_of(g.super_final_preds()[0]), fk.future_thread);
+  EXPECT_GE(g.in_degree(g.final_node()), 2u);
+}
+
+TEST(Builder, SuperFinalTouchAllAddsSecondTouch) {
+  GraphBuilder b;
+  const auto fk = b.fork(b.main_thread());
+  b.step(fk.future_thread);
+  b.step(b.main_thread());
+  b.touch(b.main_thread(), fk.future_thread);
+  const Graph g = b.finish_super(/*touch_all=*/true);
+  EXPECT_TRUE(g.has_super_final());
+  EXPECT_EQ(g.super_final_preds().size(), 1u);  // the already-touched thread
+}
+
+TEST(Builder, ChainAppendsBlocks) {
+  GraphBuilder b;
+  const NodeId last = b.chain(b.main_thread(), {7, 8, 9});
+  const Graph g = b.finish();
+  EXPECT_EQ(g.block_of(last), 9);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(Builder, FinishTwiceRejected) {
+  GraphBuilder b;
+  b.step(b.main_thread());
+  (void)b.finish();
+  EXPECT_THROW(b.finish(), CheckError);
+}
+
+TEST(Graph, RolesRoundTrip) {
+  GraphBuilder b;
+  const NodeId n = b.step(b.main_thread(), kNoBlock, "hello");
+  const Graph g = b.finish();
+  EXPECT_EQ(g.node_by_role("hello"), n);
+  EXPECT_EQ(g.role_of(n), "hello");
+  EXPECT_EQ(g.node_by_role("nope"), kInvalidNode);
+  EXPECT_EQ(g.role_of(g.root()), "");
+  EXPECT_EQ(g.all_roles().size(), 1u);
+}
+
+TEST(Graph, DuplicateRoleRejected) {
+  GraphBuilder b;
+  b.step(b.main_thread(), kNoBlock, "dup");
+  EXPECT_THROW(b.step(b.main_thread(), kNoBlock, "dup"), CheckError);
+}
+
+TEST(Graph, EdgeAndDegreeAccounting) {
+  GraphBuilder b;
+  const auto fk = b.fork(b.main_thread());
+  b.step(fk.future_thread);
+  b.step(b.main_thread());
+  const NodeId touch = b.touch(b.main_thread(), fk.future_thread);
+  const Graph g = b.finish();
+  // nodes: root, fork, future-first, future-body, right-child, touch.
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.in_degree(touch), 2u);
+  EXPECT_EQ(g.out_degree(g.final_node()), 0u);
+  EXPECT_EQ(g.touch_nodes().size(), 1u);
+  EXPECT_EQ(g.fork_nodes().size(), 1u);
+  EXPECT_EQ(g.touches_of_thread(fk.future_thread).size(), 1u);
+}
+
+TEST(Dot, RendersEdgesAndRoles) {
+  GraphBuilder b;
+  const auto fk = b.fork(b.main_thread(), kNoBlock, "the-fork");
+  b.step(fk.future_thread, 3);
+  b.step(b.main_thread());
+  b.touch(b.main_thread(), fk.future_thread);
+  const Graph g = b.finish();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("the-fork"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // future edge
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);  // touch edge
+  EXPECT_NE(dot.find("m3"), std::string::npos);            // block label
+}
+
+}  // namespace
+}  // namespace wsf::core

@@ -1,0 +1,66 @@
+// Experiment harness and schedule formatting.
+#include <gtest/gtest.h>
+
+#include "graphs/generators.hpp"
+#include "sched/harness.hpp"
+
+namespace wsf::sched {
+namespace {
+
+TEST(Harness, ExperimentFieldsConsistent) {
+  const auto gen = graphs::fib_dag(10);
+  SimOptions opts;
+  opts.procs = 4;
+  opts.seed = 3;
+  opts.stall_prob = 0.2;
+  opts.cache_lines = 8;
+  const auto r = run_experiment(gen.graph, opts);
+  EXPECT_EQ(r.stats.nodes, gen.graph.num_nodes());
+  EXPECT_EQ(r.seq.order.size(), gen.graph.num_nodes());
+  EXPECT_EQ(r.additional_misses,
+            static_cast<std::int64_t>(r.par.total_misses()) -
+                static_cast<std::int64_t>(r.seq.misses));
+  std::size_t flagged = 0;
+  for (char f : r.deviations.is_deviation) flagged += f;
+  EXPECT_EQ(flagged, r.deviations.deviations);
+}
+
+TEST(Harness, FormatScheduleShowsRolesAndDeviations) {
+  const auto gen = graphs::fig4(2, true);
+  SimOptions opts;
+  opts.procs = 2;
+  opts.seed = 1;
+  opts.stall_prob = 0.3;
+  const auto r = run_experiment(gen.graph, opts);
+  const std::string s = format_schedule(gen.graph, r.par, r.deviations);
+  EXPECT_NE(s.find("p0:"), std::string::npos);
+  EXPECT_NE(s.find("p1:"), std::string::npos);
+  EXPECT_NE(s.find("u1"), std::string::npos);  // role label rendered
+}
+
+TEST(Harness, FormatScheduleElidesLongRuns) {
+  const auto gen = graphs::serial_chain(100);
+  SimOptions opts;
+  const auto r = run_experiment(gen.graph, opts);
+  const std::string s =
+      format_schedule(gen.graph, r.par, r.deviations, /*max_nodes=*/10);
+  EXPECT_NE(s.find("(+90)"), std::string::npos);
+}
+
+TEST(Harness, SequentialBaselineUsesSamePolicy) {
+  const auto gen = graphs::fig5b(2);
+  SimOptions a;
+  a.policy = core::ForkPolicy::FutureFirst;
+  SimOptions b;
+  b.policy = core::ForkPolicy::ParentFirst;
+  const auto ra = run_experiment(gen.graph, a);
+  const auto rb = run_experiment(gen.graph, b);
+  EXPECT_NE(ra.seq.order, rb.seq.order);
+  // Both single-processor runs have zero deviations against their own
+  // baselines.
+  EXPECT_EQ(ra.deviations.deviations, 0u);
+  EXPECT_EQ(rb.deviations.deviations, 0u);
+}
+
+}  // namespace
+}  // namespace wsf::sched

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace wsf::support {
+namespace {
+
+// ---- check macros ----
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(WSF_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    const int x = 3;
+    WSF_CHECK(x == 4, "x was " << x);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("x was 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("x == 4"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireThrows) {
+  EXPECT_THROW(WSF_REQUIRE(false), CheckError);
+}
+
+// ---- rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.below(0), CheckError);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, DerivedSeedsDecorrelated) {
+  const auto s1 = derive_seed(100, 0);
+  const auto s2 = derive_seed(100, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(derive_seed(100, 0), s1);  // stable
+}
+
+// ---- stats ----
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorEmpty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LogLogFitRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    xs.push_back(x);
+    ys.push_back(5.0 * x * x);  // y = 5 x^2
+  }
+  const auto fit = fit_loglog(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(Stats, LogLogRejectsNonPositive) {
+  EXPECT_THROW(fit_loglog({1.0, 0.0}, {1.0, 1.0}), CheckError);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+// ---- cli ----
+
+TEST(Cli, ParsesAllKinds) {
+  ArgParser args("test");
+  auto& i = args.add_int("count", 5, "a count");
+  auto& d = args.add_double("ratio", 0.5, "a ratio");
+  auto& s = args.add_string("name", "x", "a name");
+  auto& bl = args.add_bool("verbose", false, "a switch");
+  const char* argv[] = {"prog", "--count=7", "--ratio", "2.5",
+                        "--name=abc", "--verbose"};
+  ASSERT_TRUE(args.parse(6, argv));
+  EXPECT_EQ(i.value, 7);
+  EXPECT_DOUBLE_EQ(d.value, 2.5);
+  EXPECT_EQ(s.value, "abc");
+  EXPECT_TRUE(bl.value);
+}
+
+TEST(Cli, DefaultsSurviveEmptyArgv) {
+  ArgParser args("test");
+  auto& i = args.add_int("count", 5, "a count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(args.parse(1, argv));
+  EXPECT_EQ(i.value, 5);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  ArgParser args("test");
+  args.add_int("count", 5, "a count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(args.parse(2, argv), CheckError);
+}
+
+TEST(Cli, RejectsBadInteger) {
+  ArgParser args("test");
+  args.add_int("count", 5, "a count");
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_THROW(args.parse(2, argv), CheckError);
+}
+
+TEST(Cli, RejectsDuplicateRegistration) {
+  ArgParser args("test");
+  args.add_int("count", 5, "a count");
+  EXPECT_THROW(args.add_bool("count", false, "dup"), CheckError);
+}
+
+// ---- table ----
+
+TEST(Table, AlignsAndRenders) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::int64_t{42});
+  t.row().add("b").add(3.25);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().add(std::int64_t{1}).add(std::int64_t{2});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsOverfullRow) {
+  Table t({"a"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), CheckError);
+}
+
+TEST(Table, FormatDoubleTrims) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(2.5001), "2.5001");
+}
+
+}  // namespace
+}  // namespace wsf::support
