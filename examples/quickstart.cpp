@@ -1,6 +1,6 @@
 // Quickstart: spawn futures on the work-stealing runtime, touch them, and
 // read the schedule counters. Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 #include <cstdio>
 

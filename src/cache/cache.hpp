@@ -8,6 +8,7 @@
 // headline experiments across them.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

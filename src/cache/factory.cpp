@@ -1,4 +1,7 @@
+#include <cstddef>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "cache/cache.hpp"
 #include "support/check.hpp"

@@ -1,4 +1,7 @@
+#include <cstddef>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_set>
 
 #include "cache/cache.hpp"

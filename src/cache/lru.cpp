@@ -1,4 +1,7 @@
+#include <cstddef>
 #include <list>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "cache/cache.hpp"

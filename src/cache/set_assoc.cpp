@@ -1,3 +1,7 @@
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hpp"

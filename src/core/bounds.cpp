@@ -1,5 +1,7 @@
 #include "core/bounds.hpp"
 
+#include <cstdint>
+
 namespace wsf::core {
 
 double abp_steal_bound(std::uint64_t procs, std::uint64_t span) {

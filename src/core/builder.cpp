@@ -2,6 +2,11 @@
 
 #include "support/check.hpp"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace wsf::core {
 
 GraphBuilder::GraphBuilder() {

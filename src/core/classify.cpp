@@ -1,7 +1,11 @@
 #include "core/classify.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/traversal.hpp"
 #include "support/check.hpp"

@@ -2,6 +2,10 @@
 
 #include "support/check.hpp"
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 namespace wsf::core {
 
 DeviationReport count_deviations(

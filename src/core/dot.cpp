@@ -1,6 +1,9 @@
 #include "core/dot.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
+#include <string>
 
 namespace wsf::core {
 

@@ -3,6 +3,7 @@
 // dotted; one cluster per thread; roles as labels.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "core/graph.hpp"

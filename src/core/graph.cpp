@@ -1,6 +1,10 @@
 #include "core/graph.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/traversal.hpp"
 #include "support/check.hpp"

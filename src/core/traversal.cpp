@@ -1,7 +1,10 @@
 #include "core/traversal.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "support/check.hpp"
 

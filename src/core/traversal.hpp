@@ -1,6 +1,7 @@
 // Graph traversals and global DAG measures (work, span, reachability).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/builder.hpp"

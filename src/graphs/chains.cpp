@@ -1,3 +1,6 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graphs/detail.hpp"

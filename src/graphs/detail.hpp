@@ -1,6 +1,7 @@
 // Internal helpers shared by the generator translation units.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

@@ -2,6 +2,9 @@
 #include "graphs/generators.hpp"
 #include "support/check.hpp"
 
+#include <cstdint>
+#include <string>
+
 namespace wsf::graphs {
 
 GeneratedDag fig3(std::uint32_t delay) {

@@ -1,4 +1,7 @@
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/builder.hpp"
 #include "graphs/generators.hpp"

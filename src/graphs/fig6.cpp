@@ -1,3 +1,5 @@
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

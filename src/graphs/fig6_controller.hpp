@@ -18,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "sched/controller.hpp"
 #include "sched/simulator.hpp"

@@ -2,6 +2,10 @@
 #include "graphs/generators.hpp"
 #include "support/check.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 namespace wsf::graphs {
 namespace {
 

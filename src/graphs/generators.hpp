@@ -4,6 +4,7 @@
 // figure and the schedule that realizes the claimed behaviour.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

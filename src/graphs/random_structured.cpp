@@ -1,5 +1,9 @@
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/builder.hpp"

@@ -3,6 +3,11 @@
 #include "graphs/generators.hpp"
 #include "support/check.hpp"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace wsf::graphs {
 
 GeneratedDag make_named(const std::string& name, const RegistryParams& p) {

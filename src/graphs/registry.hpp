@@ -1,6 +1,7 @@
 // Name-based generator registry for CLI tools and examples.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,6 +1,7 @@
 #include "runtime/counters.hpp"
 
 #include <sstream>
+#include <string>
 
 namespace wsf::runtime {
 
@@ -15,6 +16,29 @@ WorkerCounters& WorkerCounters::operator+=(const WorkerCounters& o) {
   migrations += o.migrations;
   fibers_created += o.fibers_created;
   stacks_reused += o.stacks_reused;
+  return *this;
+}
+
+namespace {
+// Saturating subtraction: a counters() snapshot racing a concurrent
+// reset_counters() can observe a baseline ahead of the live value it read a
+// moment earlier; clamping keeps such a torn report at 0 instead of ~2^64.
+std::uint64_t monus(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+}  // namespace
+
+WorkerCounters& WorkerCounters::operator-=(const WorkerCounters& o) {
+  spawns = monus(spawns, o.spawns);
+  tasks_run = monus(tasks_run, o.tasks_run);
+  steals = monus(steals, o.steals);
+  steal_attempts = monus(steal_attempts, o.steal_attempts);
+  touches = monus(touches, o.touches);
+  parked_touches = monus(parked_touches, o.parked_touches);
+  direct_handoffs = monus(direct_handoffs, o.direct_handoffs);
+  migrations = monus(migrations, o.migrations);
+  fibers_created = monus(fibers_created, o.fibers_created);
+  stacks_reused = monus(stacks_reused, o.stacks_reused);
   return *this;
 }
 

@@ -4,32 +4,82 @@
 // without requiring hardware PMUs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace wsf::runtime {
 
+/// A relaxed-atomic event counter. Each cell is written by exactly one
+/// worker — its owner — and only ever *read* from other threads
+/// (Scheduler::counters / reset_counters snapshot it; they never write the
+/// live cell), so plain uint64_t would be a data race on the read side;
+/// relaxed atomics make the cross-thread snapshot well-defined without
+/// ordering cost on the hot increment paths. The increments are
+/// deliberately not RMW (see below), so the single-writer invariant is
+/// load-bearing: a second writer would lose updates. Copyable (unlike
+/// std::atomic) so counter structs can be snapshotted into a
+/// CountersReport by value.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() noexcept = default;
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return load(); }
+  // Increments are load+store, not fetch_add: each cell has a single
+  // writer (its worker), so the RMW's atomicity is never needed and these
+  // compile to a plain add — the counters sit on scheduling hot paths the
+  // benchmarks measure. Cross-thread reads/resets stay well-defined.
+  RelaxedCounter& operator++() noexcept { return *this += 1; }
+  std::uint64_t operator++(int) noexcept {
+    const std::uint64_t old = load();
+    v_.store(old + 1, std::memory_order_relaxed);
+    return old;
+  }
+  RelaxedCounter& operator+=(std::uint64_t d) noexcept {
+    v_.store(load() + d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
 /// Per-worker counters, cache-line padded; aggregated by Counters::total().
 struct alignas(64) WorkerCounters {
-  std::uint64_t spawns = 0;
-  std::uint64_t tasks_run = 0;
-  std::uint64_t steals = 0;
-  std::uint64_t steal_attempts = 0;
-  std::uint64_t touches = 0;
+  RelaxedCounter spawns;
+  RelaxedCounter tasks_run;
+  RelaxedCounter steals;
+  RelaxedCounter steal_attempts;
+  RelaxedCounter touches;
   /// Touches that found the future unresolved and parked the consumer — a
   /// deviation-producing event in the paper's model.
-  std::uint64_t parked_touches = 0;
+  RelaxedCounter parked_touches;
   /// Producer finished with a parked consumer and switched to it directly
   /// (the TouchFirst/eager-resume rule).
-  std::uint64_t direct_handoffs = 0;
+  RelaxedCounter direct_handoffs;
   /// Continuations resumed on a different worker than the one that
   /// suspended them (migrations — the locality hazard).
-  std::uint64_t migrations = 0;
-  std::uint64_t fibers_created = 0;
-  std::uint64_t stacks_reused = 0;
+  RelaxedCounter migrations;
+  RelaxedCounter fibers_created;
+  RelaxedCounter stacks_reused;
 
   WorkerCounters& operator+=(const WorkerCounters& o);
+  /// Field-wise saturating difference, for reporting counts since a
+  /// baseline snapshot. Saturation (rather than wrap) bounds the damage if
+  /// a snapshot races a concurrent rebaseline.
+  WorkerCounters& operator-=(const WorkerCounters& o);
 };
 
 /// Aggregates and pretty-prints a set of worker counters.

@@ -1,6 +1,57 @@
 #include "runtime/fiber.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <utility>
+
+// AddressSanitizer cannot follow swapcontext on its own: every switch must be
+// bracketed with __sanitizer_start_switch_fiber / __sanitizer_finish_switch_
+// fiber or ASan reports bogus stack-buffer-overflows from the foreign stack
+// (and its fake-stack GC may free live frames). The macros below compile to
+// nothing outside ASan builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define WSF_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WSF_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef WSF_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#define WSF_ASAN_START_SWITCH(save, bottom, size) \
+  __sanitizer_start_switch_fiber((save), (bottom), (size))
+#define WSF_ASAN_FINISH_SWITCH(saved, bottom, size) \
+  __sanitizer_finish_switch_fiber((saved), (bottom), (size))
+#else
+#define WSF_ASAN_START_SWITCH(save, bottom, size) ((void)0)
+#define WSF_ASAN_FINISH_SWITCH(saved, bottom, size) ((void)0)
+#endif
+
+// ThreadSanitizer likewise needs each stack switch announced through
+// __tsan_switch_to_fiber, or every stolen continuation looks like a data
+// race (control transfer through the deque is invisible to it).
+#if defined(__SANITIZE_THREAD__)
+#define WSF_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WSF_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef WSF_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#define WSF_TSAN_CREATE() __tsan_create_fiber(0)
+#define WSF_TSAN_DESTROY(f) __tsan_destroy_fiber(f)
+#define WSF_TSAN_CURRENT() __tsan_get_current_fiber()
+#define WSF_TSAN_SWITCH(f) __tsan_switch_to_fiber((f), 0)
+#else
+#define WSF_TSAN_CREATE() nullptr
+#define WSF_TSAN_DESTROY(f) ((void)0)
+#define WSF_TSAN_CURRENT() nullptr
+#define WSF_TSAN_SWITCH(f) ((void)0)
+#endif
 
 namespace wsf::runtime {
 
@@ -9,11 +60,13 @@ Fiber::Fiber(FiberFn fn, std::size_t stack_bytes)
   WSF_REQUIRE(stack_bytes_ >= 16 * 1024, "fiber stack too small");
   stack_ = static_cast<char*>(std::malloc(stack_bytes_));
   WSF_CHECK(stack_ != nullptr, "fiber stack allocation failed");
+  tsan_fiber_ = WSF_TSAN_CREATE();
 }
 
 Fiber::~Fiber() {
   WSF_CHECK(!started_ || finished_,
             "destroying a live fiber (suspended mid-execution)");
+  WSF_TSAN_DESTROY(tsan_fiber_);
   std::free(stack_);
 }
 
@@ -29,12 +82,18 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   auto* self = reinterpret_cast<Fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) |
       static_cast<std::uintptr_t>(lo));
+  // First instructions on the fiber stack: complete the switch that
+  // resume() started, learning the resumer's stack extent for suspend().
+  WSF_ASAN_FINISH_SWITCH(nullptr, &self->resumer_stack_, &self->resumer_size_);
   self->run();
   // Returning from a makecontext function with uc_link == nullptr would
   // terminate the thread; instead mark finished and switch back.
   self->finished_ = true;
   ucontext_t* back = self->return_to_;
   ucontext_t dummy;
+  // nullptr fake-stack save: this fiber is done, let ASan release its frames.
+  WSF_ASAN_START_SWITCH(nullptr, self->resumer_stack_, self->resumer_size_);
+  WSF_TSAN_SWITCH(self->resumer_tsan_);
   swapcontext(&dummy, back);  // never returns
   WSF_CHECK(false, "resumed a finished fiber");
 }
@@ -55,12 +114,22 @@ void Fiber::resume(ucontext_t* from) {
                 2, static_cast<unsigned>(self >> 32),
                 static_cast<unsigned>(self & 0xffffffffu));
   }
+  resumer_tsan_ = WSF_TSAN_CURRENT();
+  WSF_ASAN_START_SWITCH(&resumer_fake_stack_, stack_, stack_bytes_);
+  WSF_TSAN_SWITCH(tsan_fiber_);
   WSF_CHECK(swapcontext(from, &context_) == 0, "swapcontext failed");
+  // Back on the resumer's stack (the fiber suspended or finished).
+  WSF_ASAN_FINISH_SWITCH(resumer_fake_stack_, nullptr, nullptr);
 }
 
 void Fiber::suspend() {
   ucontext_t* back = return_to_;
+  WSF_ASAN_START_SWITCH(&fiber_fake_stack_, resumer_stack_, resumer_size_);
+  WSF_TSAN_SWITCH(resumer_tsan_);
   WSF_CHECK(swapcontext(&context_, back) == 0, "swapcontext failed");
+  // Resumed again, possibly from a different worker thread: refresh the
+  // resumer stack extent before the next suspension.
+  WSF_ASAN_FINISH_SWITCH(fiber_fake_stack_, &resumer_stack_, &resumer_size_);
 }
 
 }  // namespace wsf::runtime

@@ -70,6 +70,18 @@ class Fiber {
   std::size_t stack_bytes_ = 0;
   bool started_ = false;
   bool finished_ = false;
+
+  // AddressSanitizer fiber-switch bookkeeping (see fiber.cpp). Declared
+  // unconditionally so sanitized and plain translation units agree on the
+  // layout; unused outside ASan builds.
+  void* resumer_fake_stack_ = nullptr;
+  void* fiber_fake_stack_ = nullptr;
+  const void* resumer_stack_ = nullptr;
+  std::size_t resumer_size_ = 0;
+
+  // ThreadSanitizer fiber contexts (see fiber.cpp); unused outside TSan.
+  void* tsan_fiber_ = nullptr;
+  void* resumer_tsan_ = nullptr;
 };
 
 }  // namespace wsf::runtime

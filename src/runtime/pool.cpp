@@ -1,6 +1,12 @@
 #include "runtime/pool.hpp"
 
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 namespace wsf::runtime {
 namespace detail {
@@ -205,6 +211,7 @@ Scheduler::Scheduler(const RuntimeOptions& opts) : opts_(opts) {
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   for (std::uint32_t i = 0; i < n; ++i)
     workers_.push_back(std::make_unique<detail::Worker>(*this, i, opts_));
+  baseline_.resize(n);
   threads_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i)
     threads_.emplace_back([this, i] { workers_[i]->main_loop(); });
@@ -248,12 +255,17 @@ void Scheduler::wait_quiescent() {
 
 CountersReport Scheduler::counters() const {
   CountersReport report;
-  for (const auto& w : workers_) report.per_worker.push_back(w->counters());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerCounters since = workers_[i]->counters();
+    since -= baseline_[i];
+    report.per_worker.push_back(since);
+  }
   return report;
 }
 
 void Scheduler::reset_counters() {
-  for (auto& w : workers_) w->counters() = WorkerCounters{};
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    baseline_[i] = workers_[i]->counters();
 }
 
 }  // namespace wsf::runtime

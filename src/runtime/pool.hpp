@@ -22,12 +22,15 @@
 //   });
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "runtime/chase_lev.hpp"
@@ -166,10 +169,12 @@ class Scheduler {
     return static_cast<std::uint32_t>(workers_.size());
   }
 
-  /// Snapshot of all worker counters (racy while tasks run; exact when
-  /// quiescent).
+  /// Snapshot of all worker counters since the last reset (racy while tasks
+  /// run; exact when quiescent).
   CountersReport counters() const;
-  /// Zeroes all counters (call only while quiescent).
+  /// Rebaselines the counters so subsequent counters() calls report only
+  /// events from here on. Implemented as a baseline snapshot, not a write
+  /// to the live cells: workers stay the sole writers of their counters.
   void reset_counters();
 
   /// Wraps a closure and its future state into a fresh deque job. Exposed
@@ -212,6 +217,8 @@ class Scheduler {
 
   RuntimeOptions opts_;
   std::vector<std::unique_ptr<detail::Worker>> workers_;
+  /// Per-worker counter values captured at the last reset_counters().
+  std::vector<WorkerCounters> baseline_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> outstanding_{0};

@@ -3,6 +3,11 @@
 #include "sched/simulator.hpp"
 #include "support/check.hpp"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace wsf::sched {
 
 void ScheduleController::on_start(const Simulator&) {}

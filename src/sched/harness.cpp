@@ -1,6 +1,9 @@
 #include "sched/harness.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
+#include <string>
 
 namespace wsf::sched {
 

@@ -3,7 +3,9 @@
 // additional cache misses — the paper's two locality measures.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/deviation.hpp"
 #include "core/graph.hpp"

@@ -2,6 +2,7 @@
 // simulator.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

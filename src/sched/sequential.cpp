@@ -1,6 +1,9 @@
 #include "sched/sequential.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "support/check.hpp"

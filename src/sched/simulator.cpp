@@ -1,6 +1,10 @@
 #include "sched/simulator.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "support/check.hpp"
 

@@ -18,6 +18,8 @@
 // controller, making every experiment exactly reproducible.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>

@@ -1,9 +1,12 @@
 #include "support/cli.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "support/check.hpp"
 

@@ -5,6 +5,7 @@
 // loudly instead of silently running the default experiment.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>

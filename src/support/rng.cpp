@@ -2,6 +2,8 @@
 
 #include "support/check.hpp"
 
+#include <cstdint>
+
 namespace wsf::support {
 
 std::uint64_t Xoshiro256::below(std::uint64_t bound) {

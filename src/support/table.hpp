@@ -2,6 +2,7 @@
 // the paper-shaped result rows, with optional CSV output for plotting.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

@@ -1,0 +1,100 @@
+// support/check.hpp: failure payloads, lazy message construction, and the
+// Release-mode behaviour of WSF_DCHECK.
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wsf {
+namespace {
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(WSF_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(WSF_CHECK(true, "never built"));
+  EXPECT_NO_THROW(WSF_REQUIRE(true));
+}
+
+TEST(Check, FailureThrowsCheckErrorWithExpressionAndLocation) {
+  try {
+    WSF_CHECK(2 + 2 == 5);
+    FAIL() << "WSF_CHECK did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("WSF_CHECK"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, RequireUsesDistinctLabel) {
+  try {
+    WSF_REQUIRE(false, "caller error");
+    FAIL() << "WSF_REQUIRE did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("WSF_REQUIRE"), std::string::npos) << what;
+    EXPECT_NE(what.find("caller error"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, StreamedMessageAppearsInWhat) {
+  const int x = -3;
+  try {
+    WSF_CHECK(x > 0, "x was " << x << " (from " << std::string("caller") << ")");
+    FAIL() << "WSF_CHECK did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("x was -3 (from caller)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// The streamed message must only be materialised on failure: a passing check
+// must not evaluate its message operands.
+TEST(Check, MessageIsLazyOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 7;
+  };
+  WSF_CHECK(true, "value " << count());
+  EXPECT_EQ(evaluations, 0);
+
+  try {
+    WSF_CHECK(false, "value " << count());
+  } catch (const CheckError&) {
+  }
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, CheckErrorIsALogicError) {
+  try {
+    WSF_CHECK(false);
+    FAIL() << "WSF_CHECK did not throw";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+// WSF_DCHECK is a no-op under NDEBUG (Release): neither the condition's
+// side effects nor the message may run. In debug builds it behaves like
+// WSF_CHECK.
+TEST(Check, DCheckCompilesAwayInRelease) {
+  int condition_evaluations = 0;
+  auto failing = [&condition_evaluations]() {
+    ++condition_evaluations;
+    return false;
+  };
+#ifdef NDEBUG
+  static_cast<void>(failing);  // WSF_DCHECK discards its operands entirely
+  EXPECT_NO_THROW(WSF_DCHECK(failing(), "unused"));
+  EXPECT_EQ(condition_evaluations, 0);
+#else
+  EXPECT_THROW(WSF_DCHECK(failing(), "unused"), CheckError);
+  EXPECT_EQ(condition_evaluations, 1);
+#endif
+}
+
+}  // namespace
+}  // namespace wsf
