@@ -10,6 +10,7 @@
 
 #include "core/bounds.hpp"
 #include "core/classify.hpp"
+#include "exp/sweep.hpp"
 #include "graphs/generators.hpp"
 #include "sched/harness.hpp"
 #include "support/cli.hpp"
@@ -52,7 +53,9 @@ inline void print_exponent(const std::string& what,
               ok ? "OK" : "MISMATCH");
 }
 
-/// Mean over `seeds` random-work-stealing runs of the experiment.
+/// Mean over `seeds` random-work-stealing runs of the experiment. A thin
+/// view over exp::run_replicates (seeds 1…seeds) so every bench aggregates
+/// through the same subsystem wsf-sweep uses.
 struct MeanExperiment {
   double deviations = 0;
   double additional_misses = 0;
@@ -64,25 +67,17 @@ struct MeanExperiment {
 };
 
 inline MeanExperiment mean_over_seeds(const core::Graph& g,
-                                      sched::SimOptions opts,
+                                      const sched::SimOptions& opts,
                                       std::uint64_t seeds) {
+  const auto cell = exp::run_replicates(g, opts, /*seed_base=*/1, seeds);
   MeanExperiment m;
-  for (std::uint64_t s = 1; s <= seeds; ++s) {
-    opts.seed = s;
-    const auto r = sched::run_experiment(g, opts);
-    m.deviations += static_cast<double>(r.deviations.deviations);
-    m.additional_misses += static_cast<double>(r.additional_misses);
-    m.steals += static_cast<double>(r.par.steals);
-    m.seq_misses += static_cast<double>(r.seq.misses);
-    m.span = r.stats.span;
-    m.touches = r.stats.touches;
-    m.nodes = r.stats.nodes;
-  }
-  const auto n = static_cast<double>(seeds);
-  m.deviations /= n;
-  m.additional_misses /= n;
-  m.steals /= n;
-  m.seq_misses /= n;
+  m.deviations = cell.deviations.mean();
+  m.additional_misses = cell.additional_misses.mean();
+  m.steals = cell.steals.mean();
+  m.seq_misses = cell.seq_misses.mean();
+  m.span = cell.stats.span;
+  m.touches = cell.stats.touches;
+  m.nodes = cell.stats.nodes;
   return m;
 }
 

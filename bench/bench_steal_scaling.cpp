@@ -1,47 +1,49 @@
 // E9 — the Arora–Blumofe–Plaxton baseline the paper's proofs build on:
 // parsimonious work stealing performs O(P·T∞) steals in expectation.
+// The series is one declarative exp::SweepSpec; the per-family × per-P loop
+// lives in the sweep runner, which executes the grid concurrently.
 #include "bench_common.hpp"
-#include "graphs/registry.hpp"
 
 using namespace wsf;
 
 int main(int argc, char** argv) {
   support::ArgParser args("bench_steal_scaling — steals = O(P·T∞)");
   auto& seeds = args.add_int("seeds", 10, "random schedules per row");
+  auto& threads = args.add_int("threads", 0,
+                               "sweep worker threads (0 = hardware)");
   if (!args.parse(argc, argv)) return 0;
-  const auto S = static_cast<std::uint64_t>(seeds.value);
 
   bench::print_header(
       "E9 — steal scaling (ABP baseline, Section 3)",
       "mean steals / (P·T∞) stays bounded as P and the DAG grow");
-  support::Table table({"family", "nodes", "T∞", "P", "mean steals",
-                        "steals/(P*T)"});
-  struct Row {
-    const char* name;
-    graphs::RegistryParams params;
-  };
-  const std::vector<Row> rows = {
+
+  exp::SweepSpec spec;
+  spec.graphs = {
       {"forkjoin", {.size = 8, .size2 = 2}},
       {"fib", {.size = 16}},
       {"random-single-touch", {.size = 60}},
       {"pipeline", {.size = 6, .size2 = 32}},
   };
-  for (const auto& row : rows) {
-    const auto gen = graphs::make_named(row.name, row.params);
-    for (std::uint32_t procs : {2, 4, 8, 16}) {
-      sched::SimOptions opts;
-      opts.procs = procs;
-      opts.policy = core::ForkPolicy::FutureFirst;
-      opts.stall_prob = 0.1;
-      const auto m = bench::mean_over_seeds(gen.graph, opts, S);
-      table.row()
-          .add(row.name)
-          .add(m.nodes)
-          .add(static_cast<std::uint64_t>(m.span))
-          .add(static_cast<std::uint64_t>(procs))
-          .add(m.steals)
-          .add(m.steals / core::abp_steal_bound(procs, m.span));
-    }
+  spec.procs = {2, 4, 8, 16};
+  spec.policies = {core::ForkPolicy::FutureFirst};
+  spec.cache_lines = {0};
+  spec.stall_prob = 0.1;
+  spec.seeds = static_cast<std::uint64_t>(seeds.value);
+  const auto sweep =
+      exp::run_sweep(spec, static_cast<unsigned>(threads.value));
+
+  support::Table table({"family", "nodes", "T∞", "P", "mean steals",
+                        "steals/(P*T)"});
+  for (const auto& row : sweep.rows) {
+    const auto procs = row.config.options.procs;
+    const double steals = row.cell.steals.mean();
+    table.row()
+        .add(row.config.family)
+        .add(static_cast<std::uint64_t>(row.cell.stats.nodes))
+        .add(static_cast<std::uint64_t>(row.cell.stats.span))
+        .add(static_cast<std::uint64_t>(procs))
+        .add(steals)
+        .add(steals / core::abp_steal_bound(procs, row.cell.stats.span));
   }
   table.print("");
   return 0;

@@ -80,6 +80,11 @@ int main(int argc, char** argv) {
   std::printf("  steals            : %llu   premature touches: %llu\n",
               static_cast<unsigned long long>(r.par.steals),
               static_cast<unsigned long long>(r.par.premature_touches));
+  std::printf("  rounds            : %llu   (idle %llu, declined steals "
+              "%llu)\n",
+              static_cast<unsigned long long>(r.par.steps),
+              static_cast<unsigned long long>(r.par.idle_steps),
+              static_cast<unsigned long long>(r.par.declined_steals));
 
   if (show.value) {
     std::printf("\nschedule ('*' marks deviations):\n%s",

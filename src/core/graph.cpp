@@ -166,7 +166,7 @@ void Graph::validate() const {
   WSF_CHECK(final_ != kInvalidNode, "graph was never finalized");
 
   // Degree conventions.
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
     const Node& n = nodes_[id];
     if (id == root()) {
       WSF_CHECK(in_degree(id) == 0, "root must have in-degree 0");
@@ -228,7 +228,7 @@ void Graph::validate() const {
 
   // Thread structure: every non-main thread starts at a future edge and ends
   // with a single outgoing touch edge.
-  for (ThreadId t = 0; t < threads_.size(); ++t) {
+  for (ThreadId t = 0; t < static_cast<ThreadId>(threads_.size()); ++t) {
     const ThreadInfo& ti = threads_[t];
     WSF_CHECK(ti.first_node != kInvalidNode, "thread " << t << " is empty");
     if (t == 0) {
@@ -261,7 +261,7 @@ void Graph::validate() const {
     for (std::uint8_t i = 0; i < n.out_count; ++i)
       if (reaches_final[n.out[i].node]) reaches_final[*it] = 1;
   }
-  for (NodeId id = 0; id < nodes_.size(); ++id)
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id)
     WSF_CHECK(reaches_final[id],
               "node " << id << " cannot reach the final node");
 }

@@ -16,7 +16,7 @@ std::vector<NodeId> topological_order(const Graph& g) {
   std::vector<NodeId> order;
   order.reserve(n);
   std::vector<NodeId> frontier;
-  for (NodeId id = 0; id < n; ++id) {
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
     pending[id] = static_cast<std::uint32_t>(g.in_degree(id));
     if (pending[id] == 0) frontier.push_back(id);
   }

@@ -1,0 +1,67 @@
+// Concurrent sweep execution: one job per configuration, jobs pulled from a
+// shared atomic cursor by std::thread workers. Each job is an independent
+// sequence of run_experiment() calls on an immutable shared graph, so the
+// workers share nothing mutable and need no locks; rows are written into
+// preallocated slots, keeping the output order (and therefore the CSV)
+// deterministic regardless of how the OS schedules the workers.
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "support/check.hpp"
+
+namespace wsf::exp {
+
+SweepResult run_sweep(const SweepSpec& spec, unsigned threads) {
+  const std::vector<SweepConfig> configs = expand_spec(spec);
+  const std::vector<graphs::GeneratedDag> graphs = generate_graphs(spec);
+
+  SweepResult result;
+  result.seeds = spec.seeds;
+  result.seed_base = spec.seed_base;
+  result.rows.resize(configs.size());
+
+  unsigned workers = threads ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > configs.size())
+    workers = static_cast<unsigned>(configs.size());
+
+  std::atomic<std::size_t> next{0};
+  // A failing configuration (controller deadlock, graph invariant breach —
+  // unknown family names already threw in generate_graphs above) must
+  // surface to the caller, not std::terminate a worker: the first exception
+  // is kept and rethrown after all workers drain.
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  auto work = [&] {
+    for (std::size_t i; (i = next.fetch_add(1)) < configs.size();) {
+      try {
+        const SweepConfig& cfg = configs[i];
+        result.rows[i].config = cfg;
+        result.rows[i].cell =
+            run_replicates(graphs[cfg.graph_index].graph, cfg.options,
+                           spec.seed_base, spec.seeds);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+  return result;
+}
+
+}  // namespace wsf::exp

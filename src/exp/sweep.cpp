@@ -1,0 +1,141 @@
+#include "exp/sweep.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/deviation.hpp"
+#include "sched/sequential.hpp"
+#include "sched/simulator.hpp"
+#include "support/check.hpp"
+
+namespace wsf::exp {
+
+std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
+  WSF_REQUIRE(!spec.graphs.empty(), "sweep needs at least one graph axis");
+  WSF_REQUIRE(!spec.procs.empty(), "sweep needs at least one P value");
+  WSF_REQUIRE(!spec.policies.empty(), "sweep needs at least one fork policy");
+  WSF_REQUIRE(!spec.touch_enables.empty(),
+              "sweep needs at least one touch-enable rule");
+  WSF_REQUIRE(!spec.cache_lines.empty(),
+              "sweep needs at least one cache geometry (0 = no cache)");
+  WSF_REQUIRE(spec.seeds >= 1, "sweep needs at least one seed replicate");
+
+  std::vector<SweepConfig> configs;
+  configs.reserve(spec.graphs.size() * spec.cache_lines.size() *
+                  spec.procs.size() * spec.policies.size() *
+                  spec.touch_enables.size());
+  for (std::size_t gi = 0; gi < spec.graphs.size(); ++gi) {
+    for (std::size_t ci = 0; ci < spec.cache_lines.size(); ++ci) {
+      for (const std::uint32_t procs : spec.procs) {
+        for (const core::ForkPolicy policy : spec.policies) {
+          for (const sched::TouchEnable touch : spec.touch_enables) {
+            SweepConfig cfg;
+            cfg.family = spec.graphs[gi].family;
+            cfg.params = spec.graphs[gi].params;
+            cfg.params.cache_lines = spec.cache_lines[ci];
+            cfg.graph_index = gi * spec.cache_lines.size() + ci;
+            cfg.options.procs = procs;
+            cfg.options.policy = policy;
+            cfg.options.touch_enable = touch;
+            cfg.options.cache_lines = spec.cache_lines[ci];
+            cfg.options.cache_policy = spec.cache_policy;
+            cfg.options.stall_prob = spec.stall_prob;
+            cfg.options.seed = spec.seed_base;
+            configs.push_back(cfg);
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec) {
+  std::vector<graphs::GeneratedDag> out;
+  out.reserve(spec.graphs.size() * spec.cache_lines.size());
+  for (const GraphAxis& axis : spec.graphs) {
+    for (const std::size_t lines : spec.cache_lines) {
+      graphs::RegistryParams params = axis.params;
+      params.cache_lines = lines;
+      out.push_back(graphs::make_named(axis.family, params));
+    }
+  }
+  return out;
+}
+
+SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
+                         std::uint64_t seed_base, std::uint64_t seed_count) {
+  WSF_REQUIRE(seed_count >= 1, "need at least one replicate");
+  SweepCell cell;
+  // The DAG stats and the sequential baseline are seed-independent, so they
+  // are computed once per cell instead of once per replicate the way a
+  // per-seed run_experiment() loop would; each replicate then runs only the
+  // parallel simulation and the deviation comparison. Cell values are
+  // identical to run_experiment()'s by construction.
+  cell.stats = core::compute_stats(g);
+  const sched::SeqResult seq = sched::run_sequential(g, opts);
+  opts.record_trace = true;  // count_deviations needs proc_orders
+  for (std::uint64_t k = 0; k < seed_count; ++k) {
+    opts.seed = seed_base + k;
+    const sched::SimResult par = sched::simulate(g, opts);
+    const core::DeviationReport deviations =
+        core::count_deviations(g, seq.order, par.proc_orders);
+    const auto additional_misses =
+        static_cast<std::int64_t>(par.total_misses()) -
+        static_cast<std::int64_t>(seq.misses);
+    cell.deviations.add(static_cast<double>(deviations.deviations));
+    cell.additional_misses.add(static_cast<double>(additional_misses));
+    cell.seq_misses.add(static_cast<double>(seq.misses));
+    cell.steals.add(static_cast<double>(par.steals));
+    cell.declined_steals.add(static_cast<double>(par.declined_steals));
+    cell.steps.add(static_cast<double>(par.steps));
+    cell.premature_touches.add(static_cast<double>(par.premature_touches));
+  }
+  return cell;
+}
+
+double stderr_of(const support::Accumulator& acc) {
+  if (acc.count() < 2) return 0.0;
+  return acc.stddev() / std::sqrt(static_cast<double>(acc.count()));
+}
+
+support::Table to_table(const SweepResult& result) {
+  support::Table table(
+      {"family", "size", "size2", "nodes", "span", "touches", "procs",
+       "policy", "touch_enable", "cache_lines", "replicates",
+       "mean_deviations", "stderr_deviations", "mean_additional_misses",
+       "stderr_additional_misses", "mean_seq_misses", "mean_steals",
+       "stderr_steals", "mean_steps", "mean_declined_steals",
+       "mean_premature_touches"});
+  for (const SweepRow& row : result.rows) {
+    const SweepConfig& c = row.config;
+    const SweepCell& cell = row.cell;
+    table.row()
+        .add(c.family)
+        .add(static_cast<std::uint64_t>(c.params.size))
+        .add(static_cast<std::uint64_t>(c.params.size2))
+        .add(static_cast<std::uint64_t>(cell.stats.nodes))
+        .add(static_cast<std::uint64_t>(cell.stats.span))
+        .add(static_cast<std::uint64_t>(cell.stats.touches))
+        .add(static_cast<std::uint64_t>(c.options.procs))
+        .add(to_string(c.options.policy))
+        .add(to_string(c.options.touch_enable))
+        .add(static_cast<std::uint64_t>(c.options.cache_lines))
+        .add(static_cast<std::uint64_t>(cell.deviations.count()))
+        .add(cell.deviations.mean())
+        .add(stderr_of(cell.deviations))
+        .add(cell.additional_misses.mean())
+        .add(stderr_of(cell.additional_misses))
+        .add(cell.seq_misses.mean())
+        .add(cell.steals.mean())
+        .add(stderr_of(cell.steals))
+        .add(cell.steps.mean())
+        .add(cell.declined_steals.mean())
+        .add(cell.premature_touches.mean());
+  }
+  return table;
+}
+
+}  // namespace wsf::exp

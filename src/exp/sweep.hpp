@@ -1,0 +1,123 @@
+// Declarative experiment sweeps — the paper's result grids in one shot.
+//
+// Every figure/theorem table in the paper is a grid: deviations and
+// additional cache misses swept over processors P, fork policy, touch rule,
+// cache geometry, and graph family. A SweepSpec declares such a grid; the
+// runner expands it into concrete configurations, executes each
+// configuration's seed replicates as independent run_experiment() calls
+// across std::thread workers, and aggregates the paper's measures with
+// mean/stderr. The wsf-sweep CLI (tools/wsf_sweep.cpp) exposes the whole
+// thing as one command; bench harnesses declare their series through the
+// same types instead of hand-rolled loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/traversal.hpp"
+#include "graphs/generated.hpp"
+#include "graphs/registry.hpp"
+#include "sched/options.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace wsf::exp {
+
+/// One graph-family entry of a sweep: the registry name plus its size
+/// parameters. `params.cache_lines` is overwritten per grid point with the
+/// swept cache geometry so block-annotated constructions are parameterized
+/// by the same C as the simulated cache (exactly how the paper's figures
+/// are stated).
+struct GraphAxis {
+  std::string family;
+  graphs::RegistryParams params;
+};
+
+/// Declarative description of an experiment grid. The cartesian product
+/// graphs × cache_lines × procs × policies × touch_enables is the
+/// configuration list; each configuration is replicated `seeds` times with
+/// schedule seeds seed_base, seed_base+1, … so any cell can be reproduced
+/// by a single run_experiment() call with the same options and seed.
+struct SweepSpec {
+  std::vector<GraphAxis> graphs;
+  std::vector<std::uint32_t> procs = {1, 2, 4, 8};
+  std::vector<core::ForkPolicy> policies = {core::ForkPolicy::FutureFirst};
+  std::vector<sched::TouchEnable> touch_enables = {
+      sched::TouchEnable::TouchFirst};
+  std::vector<std::size_t> cache_lines = {0};
+  std::string cache_policy = "lru";
+  double stall_prob = 0.2;
+  /// Replicates per configuration (random schedule seeds).
+  std::uint64_t seeds = 4;
+  std::uint64_t seed_base = 1;
+};
+
+/// One grid point: the graph reference plus fully-resolved simulator
+/// options. `options.seed` holds the spec's seed_base; replicates override
+/// it with seed_base + k.
+struct SweepConfig {
+  std::string family;
+  graphs::RegistryParams params;
+  /// Index into the shared graph list (generate_graphs()); configurations
+  /// differing only in P / policy / touch rule share one generated graph.
+  std::size_t graph_index = 0;
+  sched::SimOptions options;
+};
+
+/// Aggregate of the seed replicates of one configuration.
+struct SweepCell {
+  core::DagStats stats;
+  support::Accumulator deviations;
+  support::Accumulator additional_misses;
+  support::Accumulator seq_misses;
+  support::Accumulator steals;
+  support::Accumulator declined_steals;
+  support::Accumulator steps;
+  support::Accumulator premature_touches;
+};
+
+struct SweepRow {
+  SweepConfig config;
+  SweepCell cell;
+};
+
+struct SweepResult {
+  std::vector<SweepRow> rows;
+  std::uint64_t seeds = 0;
+  std::uint64_t seed_base = 1;
+};
+
+/// Expands the spec into its configuration list (no graphs generated, no
+/// simulation). Order: graphs × cache_lines × procs × policies ×
+/// touch_enables, innermost last — the row order of every emitter below.
+std::vector<SweepConfig> expand_spec(const SweepSpec& spec);
+
+/// Generates the shared graph list referenced by SweepConfig::graph_index:
+/// one graph per (graph axis, cache_lines) pair, in axis-major order.
+std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec);
+
+/// Runs `seed_count` replicate experiments (seeds seed_base …
+/// seed_base + seed_count - 1) of one configuration and aggregates them.
+/// The sequential baseline inside run_experiment() is seed-independent, so
+/// seq_misses has zero variance by construction.
+SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
+                         std::uint64_t seed_base, std::uint64_t seed_count);
+
+/// Executes the whole sweep: every configuration's replicates run as one
+/// job, jobs are distributed over `threads` std::thread workers (0 = one
+/// per hardware thread). Result rows are in expand_spec() order regardless
+/// of worker scheduling, so the output is deterministic.
+SweepResult run_sweep(const SweepSpec& spec, unsigned threads = 0);
+
+/// Standard error of the mean (stddev / sqrt(n); 0 below two samples).
+double stderr_of(const support::Accumulator& acc);
+
+/// Renders the sweep as a Table (one row per configuration) with mean and
+/// stderr columns for the paper's measures; use Table::to_string /
+/// to_csv / to_json for the output format.
+support::Table to_table(const SweepResult& result);
+
+}  // namespace wsf::exp

@@ -11,7 +11,7 @@ std::string format_schedule(const core::Graph& g, const SimResult& par,
                             const core::DeviationReport& deviations,
                             std::size_t max_nodes) {
   std::ostringstream os;
-  for (core::ProcId p = 0; p < par.proc_orders.size(); ++p) {
+  for (std::size_t p = 0; p < par.proc_orders.size(); ++p) {
     os << "p" << p << ":";
     const auto& order = par.proc_orders[p];
     const std::size_t shown = std::min(order.size(), max_nodes);
@@ -37,7 +37,11 @@ ExperimentResult run_experiment(const core::Graph& g, const SimOptions& opts,
   ExperimentResult r;
   r.stats = core::compute_stats(g);
   r.seq = run_sequential(g, opts);
-  r.par = simulate(g, opts, controller);
+  // Deviation counting compares per-processor orders against the sequential
+  // order, so the parallel run always records its trace.
+  SimOptions par_opts = opts;
+  par_opts.record_trace = true;
+  r.par = simulate(g, par_opts, controller);
   r.deviations = core::count_deviations(g, r.seq.order, r.par.proc_orders);
   r.additional_misses = static_cast<std::int64_t>(r.par.total_misses()) -
                         static_cast<std::int64_t>(r.seq.misses);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/policy.hpp"
+#include "support/check.hpp"
 
 namespace wsf::sched {
 
@@ -28,6 +29,15 @@ inline const char* to_string(TouchEnable t) {
   return t == TouchEnable::TouchFirst ? "touch-first" : "continuation-first";
 }
 
+inline TouchEnable touch_enable_from_string(const std::string& s) {
+  if (s == "touch-first" || s == "touch") return TouchEnable::TouchFirst;
+  if (s == "continuation-first" || s == "continuation")
+    return TouchEnable::ContinuationFirst;
+  WSF_REQUIRE(false, "unknown touch-enable rule '"
+                         << s << "' (touch-first | continuation-first)");
+  return TouchEnable::TouchFirst;
+}
+
 struct SimOptions {
   /// Number of simulated processors P.
   std::uint32_t procs = 1;
@@ -42,10 +52,13 @@ struct SimOptions {
   /// deviations) actually happen; the paper's bounds hold under any such
   /// adversarial delays.
   double stall_prob = 0.0;
-  /// Default controller only steals from victims with non-empty deques
-  /// (failed attempts are still possible under races with... in this
-  /// deterministic simulator, this simply avoids pointless attempts; set to
-  /// false for faithful uniform-victim ABP accounting).
+  /// Default controller only steals from victims with non-empty deques. In
+  /// a real ABP scheduler failed attempts are still possible under races
+  /// with the victim popping its own bottom, but this simulator is
+  /// deterministic and round-sequential, so restricting to non-empty
+  /// victims simply avoids pointless attempts; set to false for faithful
+  /// uniform-victim ABP accounting, where attempts on empty deques count
+  /// as failed_steals.
   bool steal_nonempty_only = true;
 
   /// Cache lines per processor (C); 0 disables cache simulation.
@@ -53,9 +66,16 @@ struct SimOptions {
   /// Cache replacement policy ("lru", "fifo", "direct", "assocW").
   std::string cache_policy = "lru";
 
+  /// When set (the default), SimResult records the full execution trace
+  /// (proc_orders, global_order, executed_by, stolen_nodes). Counter-only
+  /// runs — large sweeps that just need steals/steps/misses — clear it to
+  /// skip all per-node trace allocation. Deviation counting needs traces,
+  /// so run_experiment() forces it back on for its parallel run.
+  bool record_trace = true;
+
   /// Safety valve against controller bugs: the simulator throws if the
-  /// execution does not finish within this many rounds (0 = auto: 64·N + 64
-  /// rounds scaled by processor count).
+  /// execution does not finish within this many rounds
+  /// (0 = auto: (64 + 64·N)·P rounds).
   std::uint64_t max_steps = 0;
 };
 

@@ -23,7 +23,7 @@ SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
   // pending[v] = predecessors not yet executed; a node is enabled when its
   // last predecessor executes.
   std::vector<std::uint32_t> pending(n);
-  for (core::NodeId v = 0; v < n; ++v)
+  for (core::NodeId v = 0; v < static_cast<core::NodeId>(n); ++v)
     pending[v] = static_cast<std::uint32_t>(g.in_degree(v));
 
   std::vector<core::NodeId> deque;  // bottom = back (LIFO for the owner)

@@ -21,7 +21,7 @@ Simulator::Simulator(const core::Graph& g, const SimOptions& opts,
   }
   const std::size_t n = g_.num_nodes();
   pending_.resize(n);
-  for (core::NodeId v = 0; v < n; ++v)
+  for (core::NodeId v = 0; v < static_cast<core::NodeId>(n); ++v)
     pending_[v] = static_cast<std::uint32_t>(g_.in_degree(v));
   executed_.assign(n, 0);
   current_.assign(opts_.procs, core::kInvalidNode);
@@ -32,9 +32,12 @@ Simulator::Simulator(const core::Graph& g, const SimOptions& opts,
       caches_.push_back(
           cache::make_cache(opts_.cache_policy, opts_.cache_lines));
   }
-  result_.proc_orders.resize(opts_.procs);
-  result_.executed_by.assign(n, 0);
-  result_.global_order.reserve(n);
+  if (opts_.record_trace) {
+    result_.proc_orders.resize(opts_.procs);
+    for (auto& order : result_.proc_orders) order.reserve(n / opts_.procs + 1);
+    result_.executed_by.assign(n, 0);
+    result_.global_order.reserve(n);
+  }
   result_.misses_per_proc.assign(opts_.procs, 0);
 }
 
@@ -55,8 +58,8 @@ SimResult Simulator::run() {
 
   const std::uint64_t max_steps =
       opts_.max_steps ? opts_.max_steps
-                      : 64 + 64 * static_cast<std::uint64_t>(n) *
-                                 std::max<std::uint64_t>(1, opts_.procs);
+                      : (64 + 64 * static_cast<std::uint64_t>(n)) *
+                            std::max<std::uint64_t>(1, opts_.procs);
   controller_->on_start(*this);
 
   while (executed_count_ < n) {
@@ -64,7 +67,13 @@ SimResult Simulator::run() {
               "simulation did not finish within "
                   << max_steps << " rounds (controller deadlock? "
                   << executed_count_ << "/" << n << " nodes executed)");
-    for (core::ProcId p = 0; p < opts_.procs && executed_count_ < n; ++p) {
+    // Every awake processor acts exactly once per round, including the
+    // trailing processors of the round in which the computation completes
+    // (their turns are necessarily declined/failed steal attempts, since no
+    // deque holds work once every node has executed). Bailing mid-round
+    // here would count a partial round as a full step and silently drop the
+    // trailing processors' idle/steal accounting — see SimResult::steps.
+    for (core::ProcId p = 0; p < opts_.procs; ++p) {
       if (!controller_->awake(*this, p)) {
         ++result_.idle_steps;
         continue;
@@ -96,7 +105,7 @@ void Simulator::try_steal(core::ProcId p) {
   const core::ProcId victim = controller_->pick_victim(*this, p);
   if (victim == p || victim >= opts_.procs) {
     // Controller declined the attempt this round.
-    ++result_.idle_steps;
+    ++result_.declined_steals;
     return;
   }
   ++result_.steal_attempts;
@@ -107,7 +116,7 @@ void Simulator::try_steal(core::ProcId p) {
   const core::NodeId stolen = deques_[victim].front();  // top of the deque
   deques_[victim].pop_front();
   ++result_.steals;
-  result_.stolen_nodes.push_back(stolen);
+  if (opts_.record_trace) result_.stolen_nodes.push_back(stolen);
   current_[p] = stolen;  // executed next round (a steal costs one round)
   controller_->on_steal(*this, p, victim, stolen);
 }
@@ -120,9 +129,11 @@ void Simulator::execute(core::ProcId p, core::NodeId v) {
   }
   executed_[v] = 1;
   ++executed_count_;
-  result_.proc_orders[p].push_back(v);
-  result_.global_order.push_back(v);
-  result_.executed_by[v] = p;
+  if (opts_.record_trace) {
+    result_.proc_orders[p].push_back(v);
+    result_.global_order.push_back(v);
+    result_.executed_by[v] = p;
+  }
 
   core::HalfEdge enabled[2];
   int enabled_count = 0;

@@ -20,7 +20,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "sched/controller.hpp"
 #include "sched/options.hpp"
 #include "sched/trace.hpp"
+#include "support/ring_deque.hpp"
 
 namespace wsf::sched {
 
@@ -51,7 +51,7 @@ class Simulator {
   /// The node a processor will execute next (kInvalidNode if idle).
   core::NodeId current(core::ProcId p) const { return current_[p]; }
   /// Deque contents, index 0 = top (steal end), back = bottom (owner end).
-  const std::deque<core::NodeId>& deque_of(core::ProcId p) const {
+  const support::RingDeque<core::NodeId>& deque_of(core::ProcId p) const {
     return deques_[p];
   }
   bool deque_empty(core::ProcId p) const { return deques_[p].empty(); }
@@ -70,7 +70,7 @@ class Simulator {
   std::vector<std::uint32_t> pending_;
   std::vector<char> executed_;
   std::vector<core::NodeId> current_;
-  std::vector<std::deque<core::NodeId>> deques_;
+  std::vector<support::RingDeque<core::NodeId>> deques_;
   std::vector<std::unique_ptr<cache::CacheModel>> caches_;
   std::size_t executed_count_ = 0;
   std::uint64_t round_ = 0;

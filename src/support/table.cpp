@@ -99,6 +99,72 @@ std::string Table::to_csv() const {
   return os.str();
 }
 
+namespace {
+
+// JSON numbers: -?digits[.digits][e[+-]digits] — exactly what
+// format_double / std::to_string emit; "nan"/"inf" fall through to strings.
+bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  if (i < s.size() && s[i] == '-') ++i;
+  const std::size_t int_begin = i;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  if (i == int_begin) return false;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    const std::size_t frac_begin = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == frac_begin) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    const std::size_t exp_begin = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == exp_begin) return false;
+  }
+  return i == s.size();
+}
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      os << '\\' << ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+      os << buf;
+    } else {
+      os << ch;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      append_json_string(os, headers_[c]);
+      os << ": ";
+      const std::string& cell =
+          c < rows_[r].size() ? rows_[r][c] : std::string();
+      if (is_json_number(cell))
+        os << cell;
+      else
+        append_json_string(os, cell);
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+  return os.str();
+}
+
 void Table::print(const std::string& title) const {
   std::printf("%s\n%s\n", title.c_str(), to_string().c_str());
 }

@@ -37,6 +37,10 @@ class Table {
   /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
   /// numeric output; commas in cells are replaced with ';').
   std::string to_csv() const;
+  /// Renders a JSON array with one object per row, keyed by the headers.
+  /// Cells that are plain decimal numbers are emitted unquoted; everything
+  /// else becomes an escaped JSON string.
+  std::string to_json() const;
 
   /// Convenience: print to stdout with a title line.
   void print(const std::string& title) const;

@@ -1,0 +1,195 @@
+// Sweep subsystem: spec expansion, replicate aggregation, concurrent
+// execution determinism, and CSV/JSON emission.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "support/check.hpp"
+
+#include "exp/sweep.hpp"
+#include "graphs/registry.hpp"
+#include "sched/harness.hpp"
+
+namespace wsf {
+namespace {
+
+using core::ForkPolicy;
+using sched::TouchEnable;
+
+exp::SweepSpec small_spec() {
+  exp::SweepSpec spec;
+  spec.graphs = {{"fig4", {.size = 4}}, {"fig6a", {.size = 4}}};
+  spec.procs = {1, 2};
+  spec.policies = {ForkPolicy::FutureFirst, ForkPolicy::ParentFirst};
+  spec.touch_enables = {TouchEnable::TouchFirst};
+  spec.cache_lines = {0, 4};
+  spec.stall_prob = 0.25;
+  spec.seeds = 3;
+  spec.seed_base = 7;
+  return spec;
+}
+
+TEST(SweepSpec, ExpandsTheFullCartesianProduct) {
+  const auto spec = small_spec();
+  const auto configs = exp::expand_spec(spec);
+  // graphs(2) × cache(2) × procs(2) × policies(2) × touch(1)
+  ASSERT_EQ(configs.size(), 16u);
+
+  // Order: graphs × cache_lines × procs × policies × touch_enables.
+  EXPECT_EQ(configs[0].family, "fig4");
+  EXPECT_EQ(configs[0].options.cache_lines, 0u);
+  EXPECT_EQ(configs[0].options.procs, 1u);
+  EXPECT_EQ(configs[0].options.policy, ForkPolicy::FutureFirst);
+  EXPECT_EQ(configs[1].options.policy, ForkPolicy::ParentFirst);
+  EXPECT_EQ(configs[2].options.procs, 2u);
+  EXPECT_EQ(configs[4].options.cache_lines, 4u);
+  EXPECT_EQ(configs[8].family, "fig6a");
+
+  for (const auto& cfg : configs) {
+    // The graph-side cache annotation tracks the simulated geometry.
+    EXPECT_EQ(cfg.params.cache_lines, cfg.options.cache_lines);
+    EXPECT_EQ(cfg.options.stall_prob, spec.stall_prob);
+    EXPECT_EQ(cfg.options.seed, spec.seed_base);
+  }
+  // Configurations differing only in P / policy share a generated graph.
+  EXPECT_EQ(configs[0].graph_index, configs[3].graph_index);
+  EXPECT_NE(configs[0].graph_index, configs[4].graph_index);
+  EXPECT_EQ(configs[8].graph_index, 2u);
+
+  const auto graphs = exp::generate_graphs(spec);
+  ASSERT_EQ(graphs.size(), 4u);
+  for (const auto& cfg : configs) ASSERT_LT(cfg.graph_index, graphs.size());
+}
+
+TEST(SweepSpec, RejectsEmptyAxes) {
+  exp::SweepSpec spec = small_spec();
+  spec.procs.clear();
+  EXPECT_THROW(exp::expand_spec(spec), CheckError);
+  spec = small_spec();
+  spec.graphs.clear();
+  EXPECT_THROW(exp::expand_spec(spec), CheckError);
+  spec = small_spec();
+  spec.seeds = 0;
+  EXPECT_THROW(exp::expand_spec(spec), CheckError);
+}
+
+TEST(RunReplicates, MatchesPerSeedRunExperiment) {
+  const auto gen = graphs::make_named("fig6a", {.size = 5, .cache_lines = 4});
+  sched::SimOptions opts;
+  opts.procs = 4;
+  opts.cache_lines = 4;
+  opts.stall_prob = 0.3;
+
+  const std::uint64_t seed_base = 11;
+  const std::uint64_t seeds = 4;
+  const auto cell = exp::run_replicates(gen.graph, opts, seed_base, seeds);
+
+  double dev_sum = 0, miss_sum = 0, steal_sum = 0, step_sum = 0;
+  for (std::uint64_t k = 0; k < seeds; ++k) {
+    opts.seed = seed_base + k;
+    const auto r = sched::run_experiment(gen.graph, opts);
+    dev_sum += static_cast<double>(r.deviations.deviations);
+    miss_sum += static_cast<double>(r.additional_misses);
+    steal_sum += static_cast<double>(r.par.steals);
+    step_sum += static_cast<double>(r.par.steps);
+  }
+  const auto n = static_cast<double>(seeds);
+  EXPECT_DOUBLE_EQ(cell.deviations.mean(), dev_sum / n);
+  EXPECT_DOUBLE_EQ(cell.additional_misses.mean(), miss_sum / n);
+  EXPECT_DOUBLE_EQ(cell.steals.mean(), steal_sum / n);
+  EXPECT_DOUBLE_EQ(cell.steps.mean(), step_sum / n);
+  EXPECT_EQ(cell.deviations.count(), seeds);
+  EXPECT_EQ(cell.stats.nodes, gen.graph.num_nodes());
+  // The sequential baseline is seed-independent.
+  EXPECT_DOUBLE_EQ(exp::stderr_of(cell.seq_misses), 0.0);
+}
+
+TEST(Stderr, MatchesHandComputedValue) {
+  support::Accumulator acc;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  // Sample variance 5/3; stderr = sqrt(5/3) / sqrt(4).
+  EXPECT_NEAR(exp::stderr_of(acc), std::sqrt(5.0 / 3.0) / 2.0, 1e-12);
+
+  support::Accumulator single;
+  single.add(42.0);
+  EXPECT_DOUBLE_EQ(exp::stderr_of(single), 0.0);
+}
+
+TEST(RunSweep, DeterministicAcrossWorkerCounts) {
+  const auto spec = small_spec();
+  const auto a = exp::run_sweep(spec, 1);
+  const auto b = exp::run_sweep(spec, 4);
+  const std::string csv_a = exp::to_table(a).to_csv();
+  const std::string csv_b = exp::to_table(b).to_csv();
+  EXPECT_FALSE(csv_a.empty());
+  EXPECT_EQ(csv_a, csv_b);
+}
+
+TEST(RunSweep, RowsMatchDirectReplicateRuns) {
+  const auto spec = small_spec();
+  const auto result = exp::run_sweep(spec, 3);
+  ASSERT_EQ(result.rows.size(), 16u);
+  EXPECT_EQ(result.seeds, spec.seeds);
+
+  const auto graphs = exp::generate_graphs(spec);
+  for (const auto& row : result.rows) {
+    const auto direct =
+        exp::run_replicates(graphs[row.config.graph_index].graph,
+                            row.config.options, spec.seed_base, spec.seeds);
+    EXPECT_DOUBLE_EQ(row.cell.deviations.mean(), direct.deviations.mean());
+    EXPECT_DOUBLE_EQ(row.cell.additional_misses.mean(),
+                     direct.additional_misses.mean());
+    EXPECT_DOUBLE_EQ(row.cell.steals.mean(), direct.steals.mean());
+  }
+}
+
+TEST(TouchEnableParsing, RejectsUnknownNames) {
+  EXPECT_EQ(sched::touch_enable_from_string("touch-first"),
+            TouchEnable::TouchFirst);
+  EXPECT_EQ(sched::touch_enable_from_string("continuation-first"),
+            TouchEnable::ContinuationFirst);
+  EXPECT_THROW(sched::touch_enable_from_string("touchfirst"), CheckError);
+}
+
+TEST(RunSweep, UnknownFamilySurfacesAsCheckError) {
+  exp::SweepSpec spec = small_spec();
+  spec.graphs = {{"no-such-family", {}}};
+  EXPECT_THROW(exp::run_sweep(spec, 2), CheckError);
+}
+
+TEST(SweepOutput, CsvHasHeaderAndOneLinePerConfig) {
+  const auto spec = small_spec();
+  const auto result = exp::run_sweep(spec, 2);
+  const std::string csv = exp::to_table(result).to_csv();
+  ASSERT_EQ(csv.rfind("family,size,size2,nodes,span,touches,procs,policy,",
+                      0),
+            0u);
+  std::size_t lines = 0;
+  for (const char ch : csv)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + result.rows.size());
+  EXPECT_NE(csv.find("future-first"), std::string::npos);
+  EXPECT_NE(csv.find("parent-first"), std::string::npos);
+}
+
+TEST(SweepOutput, JsonIsAnArrayOfRowObjects) {
+  const auto spec = small_spec();
+  const auto result = exp::run_sweep(spec, 2);
+  const std::string json = exp::to_table(result).to_json();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  std::size_t objects = 0;
+  for (const char ch : json)
+    if (ch == '{') ++objects;
+  EXPECT_EQ(objects, result.rows.size());
+  // Numeric cells are unquoted, string cells quoted.
+  EXPECT_NE(json.find("\"family\": \"fig4\""), std::string::npos);
+  EXPECT_NE(json.find("\"procs\": 1"), std::string::npos);
+  EXPECT_EQ(json.find("\"procs\": \""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsf

@@ -1,0 +1,122 @@
+// RingDeque behaviour: the flat ring buffer must be drop-in equivalent to
+// std::deque for the simulator's access pattern (push/pop at the bottom,
+// pop at the top, indexed reads from the top).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+
+#include "support/ring_deque.hpp"
+#include "support/rng.hpp"
+
+namespace wsf {
+namespace {
+
+using support::RingDeque;
+
+TEST(RingDeque, StartsEmpty) {
+  RingDeque<int> d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(RingDeque, PushPopBackIsLifo) {
+  RingDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push_back(i);
+  EXPECT_EQ(d.size(), 10u);
+  for (int i = 9; i >= 0; --i) {
+    EXPECT_EQ(d.back(), i);
+    d.pop_back();
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(RingDeque, PopFrontIsFifo) {
+  RingDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push_back(i);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.front(), i);
+    d.pop_front();
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(RingDeque, IndexZeroIsFront) {
+  RingDeque<int> d;
+  for (int i = 0; i < 5; ++i) d.push_back(i * 10);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(d[i], static_cast<int>(i) * 10);
+}
+
+TEST(RingDeque, WrapsAroundTheBuffer) {
+  // Drive head around the ring several times: pop from the front while
+  // pushing at the back keeps the size small but the indices wrapping.
+  RingDeque<int> d;
+  for (int i = 0; i < 4; ++i) d.push_back(i);
+  for (int i = 4; i < 100; ++i) {
+    d.push_back(i);
+    d.pop_front();
+  }
+  EXPECT_EQ(d.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(d[i], 96 + static_cast<int>(i));
+}
+
+TEST(RingDeque, GrowthPreservesOrder) {
+  RingDeque<int> d;
+  // Offset the head first so growth has to unwrap a wrapped buffer.
+  for (int i = 0; i < 6; ++i) d.push_back(i);
+  for (int i = 0; i < 5; ++i) d.pop_front();
+  for (int i = 6; i < 200; ++i) d.push_back(i);
+  EXPECT_EQ(d.size(), 195u);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_EQ(d[i], 5 + static_cast<int>(i));
+}
+
+TEST(RingDeque, ClearThenReuse) {
+  RingDeque<int> d;
+  for (int i = 0; i < 20; ++i) d.push_back(i);
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  d.push_back(7);
+  EXPECT_EQ(d.front(), 7);
+  EXPECT_EQ(d.back(), 7);
+}
+
+TEST(RingDeque, ReservePreallocates) {
+  RingDeque<int> d;
+  d.reserve(100);
+  for (int i = 0; i < 100; ++i) d.push_back(i);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.front(), 0);
+  EXPECT_EQ(d.back(), 99);
+}
+
+TEST(RingDeque, FuzzAgainstStdDeque) {
+  support::Xoshiro256 rng(2024);
+  RingDeque<std::uint32_t> ours;
+  std::deque<std::uint32_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.below(5);
+    if (op <= 1 || ref.empty()) {
+      const auto v = static_cast<std::uint32_t>(rng.next());
+      ours.push_back(v);
+      ref.push_back(v);
+    } else if (op == 2) {
+      ours.pop_back();
+      ref.pop_back();
+    } else if (op == 3) {
+      ours.pop_front();
+      ref.pop_front();
+    } else {
+      const auto i = rng.below(ref.size());
+      ASSERT_EQ(ours[i], ref[i]);
+    }
+    ASSERT_EQ(ours.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(ours.front(), ref.front());
+      ASSERT_EQ(ours.back(), ref.back());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsf

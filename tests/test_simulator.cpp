@@ -182,6 +182,141 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomStructuredNoPremature,
                          ::testing::Range(1, 21));
 
 // ---------------------------------------------------------------------------
+// Round / steal accounting (regression tests for the counter semantics:
+// every counted round is a full round, and declined steal attempts are
+// separate from both sleep and real ABP attempts)
+// ---------------------------------------------------------------------------
+
+TEST(Accounting, SerialChainTakesExactlyOneRoundPerNode) {
+  const std::size_t length = 5;
+  const auto gen = graphs::serial_chain(length);
+  SimOptions opts;
+  opts.procs = 1;
+  const auto r = sched::simulate(gen.graph, opts);
+  EXPECT_EQ(r.steps, length);
+  EXPECT_EQ(r.idle_steps, 0u);
+  EXPECT_EQ(r.declined_steals, 0u);
+  EXPECT_EQ(r.steal_attempts, 0u);
+}
+
+TEST(Accounting, TrailingProcessorsActInTheFinalRound) {
+  // 3 processors on a serial chain: p0 executes one node per round while p1
+  // and p2 each burn their turn on a declined steal attempt (ScriptController
+  // declines when every other deque is empty) — in EVERY round, including
+  // the final one. steps × (procs - 1) workless turns must all be counted.
+  const std::size_t length = 5;
+  const auto gen = graphs::serial_chain(length);
+  SimOptions opts;
+  opts.procs = 3;
+  ScriptController ctrl;
+  const auto r = sched::simulate(gen.graph, opts, &ctrl);
+  EXPECT_EQ(r.steps, length);
+  EXPECT_EQ(r.declined_steals, 2 * length);
+  EXPECT_EQ(r.idle_steps, 0u);
+  EXPECT_EQ(r.steal_attempts, 0u);
+  EXPECT_EQ(r.failed_steals, 0u);
+}
+
+TEST(Accounting, AsleepRoundsCountAsIdleIncludingTheFinalRound) {
+  const std::size_t length = 7;
+  const auto gen = graphs::serial_chain(length);
+  SimOptions opts;
+  opts.procs = 2;
+  ScriptController ctrl;
+  ctrl.sleep_now(1);
+  const auto r = sched::simulate(gen.graph, opts, &ctrl);
+  EXPECT_EQ(r.steps, length);
+  EXPECT_EQ(r.idle_steps, length);
+  EXPECT_EQ(r.declined_steals, 0u);
+}
+
+TEST(Accounting, UniformVictimAttemptsOnEmptyDequesAreFailedSteals) {
+  // Faithful ABP accounting: with steal_nonempty_only = false the random
+  // controller always picks a real victim, so p1's workless turns are
+  // steal *attempts* that fail, not declined rounds.
+  const std::size_t length = 6;
+  const auto gen = graphs::serial_chain(length);
+  SimOptions opts;
+  opts.procs = 2;
+  opts.steal_nonempty_only = false;
+  const auto r = sched::simulate(gen.graph, opts);
+  EXPECT_EQ(r.steps, length);
+  EXPECT_EQ(r.steal_attempts, length);
+  EXPECT_EQ(r.failed_steals, length);
+  EXPECT_EQ(r.steals, 0u);
+  EXPECT_EQ(r.declined_steals, 0u);
+  EXPECT_EQ(r.idle_steps, 0u);
+}
+
+TEST(Accounting, ProcessorRoundGridIsConsistent) {
+  // Over any run, each processor takes exactly one action per round:
+  // executions + pops-that-execute + steal attempts + declines + asleep
+  // rounds == steps × procs. Executions and pops both end in execute(), so
+  // nodes + attempts + declines + idle == steps × procs exactly.
+  const auto gen = graphs::binary_forkjoin_tree(6, 2);
+  for (const double stall : {0.0, 0.3}) {
+    SimOptions opts;
+    opts.procs = 8;
+    opts.seed = 5;
+    opts.stall_prob = stall;
+    const auto r = sched::simulate(gen.graph, opts);
+    EXPECT_EQ(gen.graph.num_nodes() + r.steal_attempts + r.declined_steals +
+                  r.idle_steps,
+              r.steps * opts.procs)
+        << "stall=" << stall;
+  }
+}
+
+TEST(Accounting, BitIdenticalResultForSameSeed) {
+  const auto gen = graphs::make_named("fig6b", {.size = 3, .size2 = 4,
+                                                .cache_lines = 4});
+  SimOptions opts;
+  opts.procs = 4;
+  opts.seed = 1234;
+  opts.stall_prob = 0.25;
+  opts.cache_lines = 4;
+  const auto a = sched::simulate(gen.graph, opts);
+  const auto b = sched::simulate(gen.graph, opts);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+  EXPECT_EQ(a.failed_steals, b.failed_steals);
+  EXPECT_EQ(a.declined_steals, b.declined_steals);
+  EXPECT_EQ(a.idle_steps, b.idle_steps);
+  EXPECT_EQ(a.premature_touches, b.premature_touches);
+  EXPECT_EQ(a.global_order, b.global_order);
+  EXPECT_EQ(a.proc_orders, b.proc_orders);
+  EXPECT_EQ(a.executed_by, b.executed_by);
+  EXPECT_EQ(a.stolen_nodes, b.stolen_nodes);
+  EXPECT_EQ(a.misses_per_proc, b.misses_per_proc);
+}
+
+TEST(Accounting, TraceRecordingOffKeepsCountersAndSkipsTraces) {
+  const auto gen = graphs::fib_dag(12);
+  SimOptions opts;
+  opts.procs = 4;
+  opts.seed = 77;
+  opts.stall_prob = 0.2;
+  const auto with = sched::simulate(gen.graph, opts);
+  opts.record_trace = false;
+  const auto without = sched::simulate(gen.graph, opts);
+
+  EXPECT_TRUE(without.proc_orders.empty());
+  EXPECT_TRUE(without.global_order.empty());
+  EXPECT_TRUE(without.executed_by.empty());
+  EXPECT_TRUE(without.stolen_nodes.empty());
+
+  // Recording must not perturb the schedule: every counter matches.
+  EXPECT_EQ(without.steps, with.steps);
+  EXPECT_EQ(without.steals, with.steals);
+  EXPECT_EQ(without.steal_attempts, with.steal_attempts);
+  EXPECT_EQ(without.failed_steals, with.failed_steals);
+  EXPECT_EQ(without.declined_steals, with.declined_steals);
+  EXPECT_EQ(without.idle_steps, with.idle_steps);
+  EXPECT_EQ(without.misses_per_proc, with.misses_per_proc);
+}
+
+// ---------------------------------------------------------------------------
 // ScriptController behaviour
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,192 @@
+// wsf-sweep — run a whole experiment grid (the paper's figure/theorem
+// tables) in one command, concurrently, and emit an aligned table, CSV, or
+// JSON. Every cell is reproducible: it is the mean over --seeds replicates
+// of run_experiment() with seeds --seed-base, --seed-base+1, …, so any row
+// can be re-derived with sim_explorer or a single-run harness.
+//
+//   ./build/tools/wsf-sweep                                  # default grid
+//   ./build/tools/wsf-sweep --smoke --format=csv --out=smoke.csv   # CI
+//   ./build/tools/wsf-sweep --families=fig2,fig4 --procs=1,2,4,8
+//       --policies=future-first,parent-first --cache-lines=0,16 --seeds=8
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "graphs/registry.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+
+using namespace wsf;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char ch : s) {
+    if (ch == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += ch;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  WSF_REQUIRE(!out.empty(), "empty comma-separated list '" << s << "'");
+  return out;
+}
+
+template <typename T>
+std::vector<T> split_numbers(const std::string& s) {
+  std::vector<T> out;
+  for (const std::string& item : split_list(s)) {
+    WSF_REQUIRE(!item.empty() &&
+                    item.find_first_not_of("0123456789") == std::string::npos,
+                "expected a number, got '" << item << "'");
+    unsigned long long v = 0;
+    try {
+      v = std::stoull(item);
+    } catch (const std::out_of_range&) {
+      WSF_REQUIRE(false, "number out of range: '" << item << "'");
+    }
+    if constexpr (std::numeric_limits<T>::max() <
+                  std::numeric_limits<unsigned long long>::max()) {
+      WSF_REQUIRE(v <= std::numeric_limits<T>::max(),
+                  "number out of range: '" << item << "'");
+    }
+    out.push_back(static_cast<T>(v));
+  }
+  return out;
+}
+
+std::string known_families() {
+  std::string all;
+  for (const auto& name : graphs::registry_names())
+    all += (all.empty() ? "" : ", ") + name;
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "wsf-sweep — run an experiment grid (graph family × P × fork policy × "
+      "touch rule × cache geometry × seeds) concurrently and emit the "
+      "aggregated deviation / additional-miss / steal measures");
+  auto& families = args.add_string(
+      "families", "fig2,fig4,fig6a,forkjoin,pipeline",
+      "comma-separated construction names (" + known_families() + ")");
+  auto& size = args.add_int("size", 6, "primary size parameter, all families");
+  auto& size2 = args.add_int("size2", 4, "secondary size parameter");
+  auto& graph_seed = args.add_int("graph-seed", 1,
+                                  "generation seed for random families");
+  auto& procs = args.add_string("procs", "1,2,4,8",
+                                "comma-separated processor counts");
+  auto& policies = args.add_string("policies",
+                                   "future-first,parent-first",
+                                   "comma-separated fork policies");
+  auto& touch = args.add_string("touch", "touch-first",
+                                "comma-separated touch-enable rules "
+                                "(touch-first, continuation-first)");
+  auto& cache = args.add_string("cache-lines", "0,8,16",
+                                "comma-separated cache lines per processor "
+                                "(0 = no cache simulation)");
+  auto& cache_policy = args.add_string("cache-policy", "lru",
+                                       "lru | fifo | direct | assocW");
+  auto& stall = args.add_double("stall", 0.2, "stall probability per round");
+  auto& seeds = args.add_int("seeds", 4, "schedule-seed replicates per cell");
+  auto& seed_base = args.add_int("seed-base", 1, "first replicate seed");
+  auto& threads = args.add_int("threads", 0,
+                               "worker threads (0 = hardware concurrency)");
+  auto& format = args.add_string("format", "table", "table | csv | json");
+  auto& out = args.add_string("out", "",
+                              "write the rendered output to this file "
+                              "instead of stdout");
+  auto& smoke = args.add_bool(
+      "smoke", false,
+      "fast CI grid: tiny fig2/fig4 graphs, full P × policy × touch × cache "
+      "axes, 2 seeds (overrides the grid flags)");
+  if (!args.parse(argc, argv)) return 0;
+
+  try {
+    exp::SweepSpec spec;
+    graphs::RegistryParams params;
+    params.size = static_cast<std::uint32_t>(size.value);
+    params.size2 = static_cast<std::uint32_t>(size2.value);
+    params.seed = static_cast<std::uint64_t>(graph_seed.value);
+    if (smoke.value) {
+      params.size = 4;
+      params.size2 = 3;
+      for (const char* family : {"fig2", "fig4"})
+        spec.graphs.push_back({family, params});
+      spec.procs = {1, 2, 4, 8, 16};
+      spec.policies = {core::ForkPolicy::FutureFirst,
+                       core::ForkPolicy::ParentFirst};
+      spec.touch_enables = {sched::TouchEnable::TouchFirst,
+                            sched::TouchEnable::ContinuationFirst};
+      spec.cache_lines = {0, 4, 8};
+      spec.seeds = 2;
+    } else {
+      for (const std::string& family : split_list(families.value))
+        spec.graphs.push_back({family, params});
+      spec.procs = split_numbers<std::uint32_t>(procs.value);
+      spec.policies.clear();
+      for (const std::string& p : split_list(policies.value))
+        spec.policies.push_back(core::fork_policy_from_string(p));
+      spec.touch_enables.clear();
+      for (const std::string& t : split_list(touch.value))
+        spec.touch_enables.push_back(sched::touch_enable_from_string(t));
+      spec.cache_lines = split_numbers<std::size_t>(cache.value);
+      spec.seeds = static_cast<std::uint64_t>(seeds.value);
+    }
+    spec.cache_policy = cache_policy.value;
+    spec.stall_prob = stall.value;
+    spec.seed_base = static_cast<std::uint64_t>(seed_base.value);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result =
+        exp::run_sweep(spec, static_cast<unsigned>(threads.value));
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const auto table = exp::to_table(result);
+    std::string rendered;
+    if (format.value == "csv") {
+      rendered = table.to_csv();
+    } else if (format.value == "json") {
+      rendered = table.to_json();
+    } else {
+      WSF_REQUIRE(format.value == "table",
+                  "unknown --format '" << format.value
+                                       << "' (table | csv | json)");
+      rendered = table.to_string();
+    }
+
+    if (out.value.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::ofstream file(out.value);
+      WSF_REQUIRE(file.good(), "cannot open '" << out.value << "'");
+      file << rendered;
+      WSF_REQUIRE(file.good(), "write to '" << out.value << "' failed");
+    }
+    std::fprintf(stderr,
+                 "wsf-sweep: %zu configurations x %llu seeds in %lld ms%s%s\n",
+                 result.rows.size(),
+                 static_cast<unsigned long long>(result.seeds),
+                 static_cast<long long>(elapsed_ms),
+                 out.value.empty() ? "" : " -> ", out.value.c_str());
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-sweep: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
