@@ -19,10 +19,10 @@ int main(int argc, char** argv) {
 
   exp::SweepSpec spec;
   spec.graphs = {
-      {"forkjoin", {.size = 8, .size2 = 2}},
-      {"fib", {.size = 16}},
-      {"random-single-touch", {.size = 60}},
-      {"pipeline", {.size = 6, .size2 = 32}},
+      {"forkjoin", {.size = 8, .size2 = 2}, {}},
+      {"fib", {.size = 16}, {}},
+      {"random-single-touch", {.size = 60}, {}},
+      {"pipeline", {.size = 6, .size2 = 32}, {}},
   };
   spec.procs = {2, 4, 8, 16};
   spec.policies = {core::ForkPolicy::FutureFirst};

@@ -1,0 +1,344 @@
+#include "exp/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace wsf::exp {
+
+namespace {
+
+constexpr const char* kSignaturePrefix = "# wsf-sweep-checkpoint ";
+
+std::size_t parse_config_index(const std::string& cell) {
+  WSF_REQUIRE(!cell.empty() &&
+                  cell.find_first_not_of("0123456789") == std::string::npos,
+              "checkpoint: bad config_index '" << cell << "'");
+  try {
+    return static_cast<std::size_t>(std::stoull(cell));
+  } catch (const std::out_of_range&) {
+    WSF_REQUIRE(false, "checkpoint: config_index out of range: '" << cell
+                                                                  << "'");
+  }
+  return 0;  // unreachable
+}
+
+// Verifies the configuration-identity columns of a restored row (family,
+// sizes, P, policies, cache geometry — as opposed to measured values)
+// against the config the resuming spec expanded at that index. The spec
+// signature already covers the whole grid; this per-row check additionally
+// pins each row to its index.
+void check_row_matches_config(const std::vector<std::string>& headers,
+                              const std::vector<std::string>& cells,
+                              const SweepConfig& config,
+                              std::uint64_t seeds, std::size_t index) {
+  std::map<std::string, std::string> expected;
+  expected["family"] = config.family;
+  expected["size"] = std::to_string(config.params.size);
+  expected["size2"] = std::to_string(config.params.size2);
+  expected["procs"] = std::to_string(config.options.procs);
+  expected["policy"] = to_string(config.options.policy);
+  expected["touch_enable"] = to_string(config.options.touch_enable);
+  expected["cache_lines"] = std::to_string(config.options.cache_lines);
+  expected["replicates"] = std::to_string(seeds);
+  for (std::size_t c = 0; c < headers.size() && c < cells.size(); ++c) {
+    const auto it = expected.find(headers[c]);
+    if (it == expected.end()) continue;
+    WSF_REQUIRE(cells[c] == it->second,
+                "checkpoint row for config "
+                    << index << " does not match this sweep spec: column '"
+                    << headers[c] << "' is '" << cells[c] << "', expected '"
+                    << it->second
+                    << "' (was the checkpoint written by a different grid?)");
+  }
+}
+
+// Reads a whole file; empty string when unreadable (the caller decides
+// whether that is an error).
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::string();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::vector<std::string> checkpoint_headers() {
+  std::vector<std::string> headers{"config_index"};
+  const std::vector<std::string> table = sweep_table_headers();
+  headers.insert(headers.end(), table.begin(), table.end());
+  return headers;
+}
+
+std::string spec_signature(const SweepSpec& spec) {
+  const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
+  const std::size_t configs = axes.size() * spec.cache_lines.size() *
+                              spec.procs.size() * spec.policies.size() *
+                              spec.touch_enables.size();
+  // The stall probability must be encoded losslessly (%.17g, not the
+  // table's 4-decimal rendering): two runs whose stall values agree only
+  // to 4 decimals are different experiments and must not splice.
+  char stall[32];
+  std::snprintf(stall, sizeof stall, "%.17g", spec.stall_prob);
+  std::ostringstream os;
+  // merge_checkpoints parses the configs= token back out to know the full
+  // grid size; keep it first and space-delimited.
+  os << "configs=" << configs << " graphs=";
+  for (const GraphAxis& axis : axes)
+    os << axis.family << ':' << axis.params.size << ':' << axis.params.size2
+       << ':' << axis.params.seed << ';';
+  os << " procs=";
+  for (const std::uint32_t p : spec.procs) os << p << ';';
+  os << " policies=";
+  for (const core::ForkPolicy p : spec.policies) os << to_string(p) << ';';
+  os << " touch=";
+  for (const sched::TouchEnable t : spec.touch_enables)
+    os << to_string(t) << ';';
+  os << " cache_lines=";
+  for (const std::size_t c : spec.cache_lines) os << c << ';';
+  os << " cache_policy=" << spec.cache_policy << " stall=" << stall
+     << " seeds=" << spec.seeds << " seed_base=" << spec.seed_base
+     << " max_steps=" << spec.max_steps;
+  return os.str();
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::string text = slurp(path);
+  WSF_REQUIRE(!text.empty(), "cannot read checkpoint '" << path << "'");
+  // The writer terminates every record with '\n', so a final line without
+  // one is the torn tail of a killed run — drop it. (This also catches
+  // tears that land inside the last field: such a record can still have a
+  // plausible field count, so newline termination, not arity, is the
+  // completeness test.)
+  if (text.back() != '\n') {
+    const std::size_t last_newline = text.rfind('\n');
+    WSF_REQUIRE(last_newline != std::string::npos,
+                "checkpoint '" << path << "' has no complete record");
+    text.resize(last_newline + 1);
+  }
+
+  const std::size_t line_end = text.find('\n');
+  const std::string first_line = text.substr(0, line_end);
+  WSF_REQUIRE(first_line.rfind(kSignaturePrefix, 0) == 0,
+              "'" << path << "' is not a sweep checkpoint (missing '"
+                  << kSignaturePrefix << "' signature line)");
+  Checkpoint checkpoint{
+      first_line.substr(std::string(kSignaturePrefix).size()),
+      support::Table::from_csv(text.substr(line_end + 1))};
+
+  const support::Table& table = checkpoint.table;
+  WSF_REQUIRE(!table.headers().empty() &&
+                  table.headers().front() == "config_index",
+              "'" << path << "' is not a sweep checkpoint (first column "
+                  << "must be config_index)");
+  for (std::size_t r = 0; r < table.rows().size(); ++r)
+    WSF_REQUIRE(table.rows()[r].size() == table.headers().size(),
+                "checkpoint '" << path << "': record " << r + 3 << " has "
+                               << table.rows()[r].size() << " of "
+                               << table.headers().size() << " fields");
+  return checkpoint;
+}
+
+support::Table merge_checkpoints(const std::vector<Checkpoint>& shards) {
+  WSF_REQUIRE(!shards.empty(), "nothing to merge");
+  const std::vector<std::string>& headers = shards.front().table.headers();
+  // Same check the resume path makes: a checkpoint from a build with a
+  // different column set must not quietly produce a foreign-layout CSV.
+  WSF_REQUIRE(headers == checkpoint_headers(),
+              "merge inputs have a different column set than this build "
+              "emits");
+  std::map<std::size_t, const std::vector<std::string>*> by_index;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    WSF_REQUIRE(shards[s].signature == shards.front().signature,
+                "shard " << s << " was written by a different sweep spec "
+                         << "(signature mismatch)");
+    WSF_REQUIRE(shards[s].table.headers() == headers,
+                "shard " << s << " has a different column set");
+    for (const auto& cells : shards[s].table.rows()) {
+      const std::size_t index = parse_config_index(cells.front());
+      WSF_REQUIRE(by_index.emplace(index, &cells).second,
+                  "config " << index << " appears in more than one shard");
+    }
+  }
+  // The signature's configs= token gives the full grid size, so missing
+  // *trailing* configurations are caught too (a max-index contiguity check
+  // alone would silently accept a truncated final shard).
+  const std::string& signature = shards.front().signature;
+  constexpr const char* kConfigsToken = "configs=";
+  WSF_REQUIRE(signature.rfind(kConfigsToken, 0) == 0,
+              "checkpoint signature lacks the configs= token: '" << signature
+                                                                 << "'");
+  const std::size_t expected = parse_config_index(signature.substr(
+      std::string(kConfigsToken).size(),
+      signature.find(' ') - std::string(kConfigsToken).size()));
+  WSF_REQUIRE(!by_index.empty(), "merge inputs contain no rows");
+  WSF_REQUIRE(by_index.rbegin()->first < expected,
+              "config " << by_index.rbegin()->first
+                        << " out of range for a " << expected
+                        << "-config grid");
+  WSF_REQUIRE(by_index.size() == expected,
+              "merged shards are incomplete: " << by_index.size() << " of "
+                  << expected
+                  << " configs present (did every shard finish?)");
+
+  support::Table merged(
+      std::vector<std::string>(headers.begin() + 1, headers.end()));
+  for (const auto& [index, cells] : by_index)
+    merged.add_row(std::vector<std::string>(cells->begin() + 1,
+                                            cells->end()));
+  return merged;
+}
+
+support::Table run_sweep_table(const SweepSpec& spec,
+                               const SweepTableOptions& opts) {
+  WSF_REQUIRE(opts.shard.count >= 1, "shard count must be at least 1");
+  WSF_REQUIRE(opts.shard.index < opts.shard.count,
+              "shard index " << opts.shard.index << " out of range for "
+                             << opts.shard.count << " shards");
+  const std::vector<SweepConfig> configs = expand_spec(spec);
+  const std::vector<std::string> table_headers = sweep_table_headers();
+  const std::vector<std::string> ckpt_headers = checkpoint_headers();
+  const std::string signature = spec_signature(spec);
+
+  // Restore configurations an earlier (killed) run already finished. A
+  // resumable checkpoint has at least its signature and header lines
+  // complete (two newlines); a file killed during that initial write is
+  // rewritten from scratch — but only if it is recognizably ours, so a
+  // wrong --checkpoint path never clobbers an unrelated file.
+  std::map<std::size_t, std::vector<std::string>> restored;
+  bool resuming = false;
+  if (!opts.checkpoint_path.empty()) {
+    const std::string existing = slurp(opts.checkpoint_path);
+    const std::size_t first_newline = existing.find('\n');
+    resuming = first_newline != std::string::npos &&
+               existing.find('\n', first_newline + 1) != std::string::npos;
+    if (!existing.empty() && !resuming) {
+      // Compare as far as the (possibly torn) first line goes.
+      const std::string prefix = kSignaturePrefix;
+      const std::size_t n = std::min(existing.size(), prefix.size());
+      WSF_REQUIRE(existing.compare(0, n, prefix, 0, n) == 0,
+                  "refusing to overwrite '" << opts.checkpoint_path
+                      << "': not a wsf-sweep checkpoint");
+    }
+  }
+  if (resuming) {
+    const Checkpoint ckpt = load_checkpoint(opts.checkpoint_path);
+    WSF_REQUIRE(ckpt.signature == signature,
+                "checkpoint '" << opts.checkpoint_path
+                               << "' was written by a different sweep spec:\n"
+                               << "  checkpoint: " << ckpt.signature << "\n"
+                               << "  this run:   " << signature);
+    WSF_REQUIRE(ckpt.table.headers() == ckpt_headers,
+                "checkpoint '" << opts.checkpoint_path
+                               << "' has a different column set than this "
+                               << "build emits");
+    for (const auto& cells : ckpt.table.rows()) {
+      const std::size_t index = parse_config_index(cells.front());
+      WSF_REQUIRE(index < configs.size(),
+                  "checkpoint config_index " << index << " out of range ("
+                      << configs.size() << " configs in this grid)");
+      WSF_REQUIRE(index % opts.shard.count == opts.shard.index,
+                  "checkpoint config " << index << " is not owned by shard "
+                      << opts.shard.index << "/" << opts.shard.count);
+      check_row_matches_config(ckpt_headers, cells, configs[index],
+                               spec.seeds, index);
+      std::vector<std::string> row(cells.begin() + 1, cells.end());
+      WSF_REQUIRE(restored.emplace(index, std::move(row)).second,
+                  "checkpoint lists config " << index << " twice");
+    }
+    // Rewrite the checkpoint from the validated rows (atomically, via a
+    // temp file) before appending: a killed run can leave a torn final
+    // line, and appending after it would splice two records into one.
+    const std::string tmp_path = opts.checkpoint_path + ".tmp";
+    {
+      std::ofstream tmp(tmp_path, std::ios::trunc | std::ios::binary);
+      WSF_REQUIRE(tmp.good(), "cannot write '" << tmp_path << "'");
+      tmp << kSignaturePrefix << signature << '\n';
+      tmp << support::csv_line(ckpt_headers);
+      for (const auto& [index, row] : restored) {
+        std::vector<std::string> cells;
+        cells.reserve(ckpt_headers.size());
+        cells.push_back(std::to_string(index));
+        cells.insert(cells.end(), row.begin(), row.end());
+        tmp << support::csv_line(cells);
+      }
+      tmp.flush();
+      WSF_REQUIRE(tmp.good(), "write to '" << tmp_path << "' failed");
+    }
+    WSF_REQUIRE(std::rename(tmp_path.c_str(),
+                            opts.checkpoint_path.c_str()) == 0,
+                "cannot replace checkpoint '" << opts.checkpoint_path
+                                              << "'");
+  }
+
+  std::ofstream ckpt_out;
+  if (!opts.checkpoint_path.empty()) {
+    ckpt_out.open(opts.checkpoint_path,
+                  resuming ? std::ios::app | std::ios::binary
+                           : std::ios::trunc | std::ios::binary);
+    WSF_REQUIRE(ckpt_out.good(),
+                "cannot open checkpoint '" << opts.checkpoint_path
+                                           << "' for writing");
+    if (!resuming) {
+      ckpt_out << kSignaturePrefix << signature << '\n';
+      ckpt_out << support::csv_line(ckpt_headers);
+      ckpt_out.flush();
+    }
+  }
+
+  SweepRunOptions run_opts;
+  run_opts.threads = opts.threads;
+  run_opts.shard = opts.shard;
+  run_opts.skip = [&restored](std::size_t index) {
+    return restored.count(index) != 0;
+  };
+  // Rendered once per executed config (on_row is serialized) and reused
+  // for the final table, so row formatting is not paid twice.
+  std::map<std::size_t, std::vector<std::string>> rendered;
+  run_opts.on_row = [&](std::size_t index, const SweepRow& row) {
+    const auto it =
+        rendered.emplace(index, sweep_row_cells(row.config, row.cell)).first;
+    if (ckpt_out.is_open()) {
+      std::vector<std::string> cells;
+      cells.reserve(ckpt_headers.size());
+      cells.push_back(std::to_string(index));
+      cells.insert(cells.end(), it->second.begin(), it->second.end());
+      ckpt_out << support::csv_line(cells);
+      ckpt_out.flush();
+      WSF_REQUIRE(ckpt_out.good(), "checkpoint append to '"
+                                       << opts.checkpoint_path
+                                       << "' failed");
+    }
+    if (opts.on_row) opts.on_row(index, row);
+  };
+  (void)run_sweep_expanded(spec, configs, run_opts);
+
+  support::Table table(table_headers);
+  for (std::size_t i = opts.shard.index; i < configs.size();
+       i += opts.shard.count) {
+    const auto restored_it = restored.find(i);
+    if (restored_it != restored.end()) {
+      table.add_row(restored_it->second);
+      continue;
+    }
+    const auto rendered_it = rendered.find(i);
+    WSF_CHECK(rendered_it != rendered.end(),
+              "config " << i << " neither restored nor executed");
+    table.add_row(std::move(rendered_it->second));
+  }
+  return table;
+}
+
+}  // namespace wsf::exp

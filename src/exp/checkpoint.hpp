@@ -1,0 +1,77 @@
+// Restartable, distributable sweeps: incremental row persistence and shard
+// merging on top of exp::run_sweep.
+//
+// A checkpoint file is a one-line spec signature ("# wsf-sweep-checkpoint
+// …", covering every sweep parameter that affects results) followed by a
+// CSV whose first column is the configuration's expand_spec() index and
+// whose remaining columns are exactly the final sweep-table cells
+// (sweep_row_cells). Rows are appended (and flushed) as configurations
+// finish, so a killed run resumes by re-executing only the missing
+// configs, and the checkpoints of a sharded run merge into a table
+// byte-identical to a single-process run's.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "support/table.hpp"
+
+namespace wsf::exp {
+
+/// Execution knobs for run_sweep_table.
+struct SweepTableOptions {
+  /// Worker threads (0 = one per hardware thread).
+  unsigned threads = 0;
+  SweepShard shard;
+  /// When set, finished configurations are appended here incrementally and
+  /// configurations already present are restored instead of re-executed.
+  std::string checkpoint_path;
+  /// Progress hook, called (serialized) after each configuration finishes
+  /// and its checkpoint row is durable.
+  std::function<void(std::size_t config_index, const SweepRow& row)> on_row;
+};
+
+/// The checkpoint CSV header: "config_index" followed by
+/// sweep_table_headers().
+std::vector<std::string> checkpoint_headers();
+
+/// Canonical one-line digest of every spec field that affects sweep
+/// results (axes, P/policy/touch/cache lists, seeds, stall probability,
+/// cache policy, …). Stored in the checkpoint and compared on resume, so
+/// a checkpoint written under different parameters — even ones the table
+/// rows do not carry, like --seed-base or --stall — is rejected instead
+/// of spliced in.
+std::string spec_signature(const SweepSpec& spec);
+
+/// A loaded checkpoint: the signature of the spec that wrote it plus its
+/// config_index-keyed rows.
+struct Checkpoint {
+  std::string signature;
+  support::Table table;
+};
+
+/// Reads a checkpoint file. Tolerates the torn tail a killed run can
+/// leave: the writer terminates every record with '\n', so a final line
+/// without one is dropped. Any other malformation throws wsf::CheckError.
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Reassembles shard checkpoints into the final sweep table: signatures
+/// must agree, rows are keyed by config_index, must cover 0 … N-1 exactly
+/// once across the shards, and are emitted in index order with the
+/// config_index column stripped — byte-identical to the table of one
+/// unsharded run.
+support::Table merge_checkpoints(const std::vector<Checkpoint>& shards);
+
+/// Runs (this shard of) the sweep with optional checkpoint persistence and
+/// resume, and returns the final sweep table: one row per owned
+/// configuration in expand_spec() order, restored verbatim from the
+/// checkpoint where available and computed otherwise. A checkpoint whose
+/// signature or per-row identity columns disagree with the spec is
+/// rejected, so resuming with different flags fails loudly instead of
+/// splicing mismatched results.
+support::Table run_sweep_table(const SweepSpec& spec,
+                               const SweepTableOptions& opts);
+
+}  // namespace wsf::exp

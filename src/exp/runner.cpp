@@ -3,7 +3,10 @@
 // sequence of run_experiment() calls on an immutable shared graph, so the
 // workers share nothing mutable and need no locks; rows are written into
 // preallocated slots, keeping the output order (and therefore the CSV)
-// deterministic regardless of how the OS schedules the workers.
+// deterministic regardless of how the OS schedules the workers. Sharding
+// and resume are handled here by filtering the job list — shard k of n owns
+// the configs with index % n == k, and SweepRunOptions::skip drops configs
+// a checkpoint already holds.
 #include <atomic>
 #include <cstddef>
 #include <exception>
@@ -16,36 +19,62 @@
 
 namespace wsf::exp {
 
-SweepResult run_sweep(const SweepSpec& spec, unsigned threads) {
-  const std::vector<SweepConfig> configs = expand_spec(spec);
+SweepResult run_sweep_expanded(const SweepSpec& spec,
+                               const std::vector<SweepConfig>& configs,
+                               const SweepRunOptions& opts) {
+  WSF_REQUIRE(opts.shard.count >= 1, "shard count must be at least 1");
+  WSF_REQUIRE(opts.shard.index < opts.shard.count,
+              "shard index " << opts.shard.index << " out of range for "
+                             << opts.shard.count << " shards");
   const std::vector<graphs::GeneratedDag> graphs = generate_graphs(spec);
 
   SweepResult result;
   result.seeds = spec.seeds;
   result.seed_base = spec.seed_base;
   result.rows.resize(configs.size());
+  // Every row knows its configuration even when sharding/resume skips the
+  // job; to_table tells the two apart by the cell's replicate count.
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    result.rows[i].config = configs[i];
 
-  unsigned workers = threads ? threads : std::thread::hardware_concurrency();
+  std::vector<std::size_t> jobs;
+  jobs.reserve(configs.size() / opts.shard.count + 1);
+  for (std::size_t i = opts.shard.index; i < configs.size();
+       i += opts.shard.count)
+    if (!opts.skip || !opts.skip(i)) jobs.push_back(i);
+
+  unsigned workers = opts.threads ? opts.threads
+                                  : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  if (workers > configs.size())
-    workers = static_cast<unsigned>(configs.size());
+  if (workers > jobs.size()) workers = static_cast<unsigned>(jobs.size());
 
   std::atomic<std::size_t> next{0};
   // A failing configuration (controller deadlock, graph invariant breach —
   // unknown family names already threw in generate_graphs above) must
-  // surface to the caller, not std::terminate a worker: the first exception
-  // is kept and rethrown after all workers drain.
+  // surface to the caller, not std::terminate a worker. The first exception
+  // is kept and rethrown after all workers drain; `cancelled` makes the
+  // other workers stop pulling new jobs instead of grinding through the
+  // rest of a doomed grid.
+  std::atomic<bool> cancelled{false};
   std::exception_ptr failure;
   std::mutex failure_mutex;
+  std::mutex row_mutex;  // serializes on_row (checkpoint appends)
   auto work = [&] {
-    for (std::size_t i; (i = next.fetch_add(1)) < configs.size();) {
+    for (std::size_t j;
+         !cancelled.load(std::memory_order_relaxed) &&
+         (j = next.fetch_add(1)) < jobs.size();) {
+      const std::size_t i = jobs[j];
       try {
         const SweepConfig& cfg = configs[i];
-        result.rows[i].config = cfg;
         result.rows[i].cell =
             run_replicates(graphs[cfg.graph_index].graph, cfg.options,
                            spec.seed_base, spec.seeds);
+        if (opts.on_row) {
+          const std::lock_guard<std::mutex> lock(row_mutex);
+          opts.on_row(i, result.rows[i]);
+        }
       } catch (...) {
+        cancelled.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();
       }
@@ -62,6 +91,16 @@ SweepResult run_sweep(const SweepSpec& spec, unsigned threads) {
   }
   if (failure) std::rethrow_exception(failure);
   return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepRunOptions& opts) {
+  return run_sweep_expanded(spec, expand_spec(spec), opts);
+}
+
+SweepResult run_sweep(const SweepSpec& spec, unsigned threads) {
+  SweepRunOptions opts;
+  opts.threads = threads;
+  return run_sweep(spec, opts);
 }
 
 }  // namespace wsf::exp

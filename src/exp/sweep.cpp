@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/deviation.hpp"
@@ -11,6 +14,22 @@
 #include "support/check.hpp"
 
 namespace wsf::exp {
+
+std::vector<GraphAxis> flatten_graph_axes(const SweepSpec& spec) {
+  std::vector<GraphAxis> flat;
+  for (const GraphAxis& axis : spec.graphs) {
+    if (axis.sizes.empty()) {
+      flat.push_back({axis.family, axis.params, {}});
+      continue;
+    }
+    for (const std::uint32_t size : axis.sizes) {
+      GraphAxis single{axis.family, axis.params, {}};
+      single.params.size = size;
+      flat.push_back(std::move(single));
+    }
+  }
+  return flat;
+}
 
 std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
   WSF_REQUIRE(!spec.graphs.empty(), "sweep needs at least one graph axis");
@@ -22,18 +41,18 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
               "sweep needs at least one cache geometry (0 = no cache)");
   WSF_REQUIRE(spec.seeds >= 1, "sweep needs at least one seed replicate");
 
+  const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
   std::vector<SweepConfig> configs;
-  configs.reserve(spec.graphs.size() * spec.cache_lines.size() *
-                  spec.procs.size() * spec.policies.size() *
-                  spec.touch_enables.size());
-  for (std::size_t gi = 0; gi < spec.graphs.size(); ++gi) {
+  configs.reserve(axes.size() * spec.cache_lines.size() * spec.procs.size() *
+                  spec.policies.size() * spec.touch_enables.size());
+  for (std::size_t gi = 0; gi < axes.size(); ++gi) {
     for (std::size_t ci = 0; ci < spec.cache_lines.size(); ++ci) {
       for (const std::uint32_t procs : spec.procs) {
         for (const core::ForkPolicy policy : spec.policies) {
           for (const sched::TouchEnable touch : spec.touch_enables) {
             SweepConfig cfg;
-            cfg.family = spec.graphs[gi].family;
-            cfg.params = spec.graphs[gi].params;
+            cfg.family = axes[gi].family;
+            cfg.params = axes[gi].params;
             cfg.params.cache_lines = spec.cache_lines[ci];
             cfg.graph_index = gi * spec.cache_lines.size() + ci;
             cfg.options.procs = procs;
@@ -43,6 +62,7 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
             cfg.options.cache_policy = spec.cache_policy;
             cfg.options.stall_prob = spec.stall_prob;
             cfg.options.seed = spec.seed_base;
+            cfg.options.max_steps = spec.max_steps;
             configs.push_back(cfg);
           }
         }
@@ -53,9 +73,10 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
 }
 
 std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec) {
+  const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
   std::vector<graphs::GeneratedDag> out;
-  out.reserve(spec.graphs.size() * spec.cache_lines.size());
-  for (const GraphAxis& axis : spec.graphs) {
+  out.reserve(axes.size() * spec.cache_lines.size());
+  for (const GraphAxis& axis : axes) {
     for (const std::size_t lines : spec.cache_lines) {
       graphs::RegistryParams params = axis.params;
       params.cache_lines = lines;
@@ -77,9 +98,14 @@ SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
   cell.stats = core::compute_stats(g);
   const sched::SeqResult seq = sched::run_sequential(g, opts);
   opts.record_trace = true;  // count_deviations needs proc_orders
+  opts.seed = seed_base;
+  // One simulator for all replicates: reset(seed) rewinds it in place, so
+  // the pending/executed/deque/cache allocations are paid once per cell
+  // instead of once per seed.
+  sched::Simulator sim(g, opts);
   for (std::uint64_t k = 0; k < seed_count; ++k) {
-    opts.seed = seed_base + k;
-    const sched::SimResult par = sched::simulate(g, opts);
+    if (k > 0) sim.reset(seed_base + k);
+    const sched::SimResult par = sim.run();
     const core::DeviationReport deviations =
         core::count_deviations(g, seq.order, par.proc_orders);
     const auto additional_misses =
@@ -97,43 +123,60 @@ SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
 }
 
 double stderr_of(const support::Accumulator& acc) {
-  if (acc.count() < 2) return 0.0;
+  // One sample has no spread estimate; reporting 0 would be false
+  // precision, so the cell is marked missing (NaN renders as "—"/blank).
+  if (acc.count() < 2) return std::numeric_limits<double>::quiet_NaN();
   return acc.stddev() / std::sqrt(static_cast<double>(acc.count()));
 }
 
+std::vector<std::string> sweep_table_headers() {
+  return {"family", "size", "size2", "nodes", "span", "touches", "procs",
+          "policy", "touch_enable", "cache_lines", "replicates",
+          "mean_deviations", "stderr_deviations", "mean_additional_misses",
+          "stderr_additional_misses", "mean_seq_misses", "mean_steals",
+          "stderr_steals", "mean_steps", "mean_declined_steals",
+          "mean_premature_touches"};
+}
+
+void add_sweep_row(support::Table& table, const SweepConfig& c,
+                   const SweepCell& cell) {
+  table.row()
+      .add(c.family)
+      .add(static_cast<std::uint64_t>(c.params.size))
+      .add(static_cast<std::uint64_t>(c.params.size2))
+      .add(static_cast<std::uint64_t>(cell.stats.nodes))
+      .add(static_cast<std::uint64_t>(cell.stats.span))
+      .add(static_cast<std::uint64_t>(cell.stats.touches))
+      .add(static_cast<std::uint64_t>(c.options.procs))
+      .add(to_string(c.options.policy))
+      .add(to_string(c.options.touch_enable))
+      .add(static_cast<std::uint64_t>(c.options.cache_lines))
+      .add(static_cast<std::uint64_t>(cell.deviations.count()))
+      .add(cell.deviations.mean())
+      .add(stderr_of(cell.deviations))
+      .add(cell.additional_misses.mean())
+      .add(stderr_of(cell.additional_misses))
+      .add(cell.seq_misses.mean())
+      .add(cell.steals.mean())
+      .add(stderr_of(cell.steals))
+      .add(cell.steps.mean())
+      .add(cell.declined_steals.mean())
+      .add(cell.premature_touches.mean());
+}
+
+std::vector<std::string> sweep_row_cells(const SweepConfig& c,
+                                         const SweepCell& cell) {
+  support::Table scratch(sweep_table_headers());
+  add_sweep_row(scratch, c, cell);
+  return scratch.rows().front();
+}
+
 support::Table to_table(const SweepResult& result) {
-  support::Table table(
-      {"family", "size", "size2", "nodes", "span", "touches", "procs",
-       "policy", "touch_enable", "cache_lines", "replicates",
-       "mean_deviations", "stderr_deviations", "mean_additional_misses",
-       "stderr_additional_misses", "mean_seq_misses", "mean_steals",
-       "stderr_steals", "mean_steps", "mean_declined_steals",
-       "mean_premature_touches"});
+  support::Table table(sweep_table_headers());
   for (const SweepRow& row : result.rows) {
-    const SweepConfig& c = row.config;
-    const SweepCell& cell = row.cell;
-    table.row()
-        .add(c.family)
-        .add(static_cast<std::uint64_t>(c.params.size))
-        .add(static_cast<std::uint64_t>(c.params.size2))
-        .add(static_cast<std::uint64_t>(cell.stats.nodes))
-        .add(static_cast<std::uint64_t>(cell.stats.span))
-        .add(static_cast<std::uint64_t>(cell.stats.touches))
-        .add(static_cast<std::uint64_t>(c.options.procs))
-        .add(to_string(c.options.policy))
-        .add(to_string(c.options.touch_enable))
-        .add(static_cast<std::uint64_t>(c.options.cache_lines))
-        .add(static_cast<std::uint64_t>(cell.deviations.count()))
-        .add(cell.deviations.mean())
-        .add(stderr_of(cell.deviations))
-        .add(cell.additional_misses.mean())
-        .add(stderr_of(cell.additional_misses))
-        .add(cell.seq_misses.mean())
-        .add(cell.steals.mean())
-        .add(stderr_of(cell.steals))
-        .add(cell.steps.mean())
-        .add(cell.declined_steals.mean())
-        .add(cell.premature_touches.mean());
+    // Sharded / resumed runs leave non-owned configs with an empty cell.
+    if (row.cell.deviations.count() == 0) continue;
+    add_sweep_row(table, row.config, row.cell);
   }
   return table;
 }

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ namespace wsf::exp {
 struct GraphAxis {
   std::string family;
   graphs::RegistryParams params;
+  /// Per-family primary-size axis: the entry expands into one grid point
+  /// per listed size (each overriding `params.size`). Empty means the
+  /// single size already in `params.size` — so families with different
+  /// natural scales (chain length vs tree depth) can sweep different size
+  /// lists in one spec.
+  std::vector<std::uint32_t> sizes;
 };
 
 /// Declarative description of an experiment grid. The cartesian product
@@ -53,6 +60,10 @@ struct SweepSpec {
   /// Replicates per configuration (random schedule seeds).
   std::uint64_t seeds = 4;
   std::uint64_t seed_base = 1;
+  /// Per-replicate round budget (0 = the simulator's auto formula); a
+  /// failing configuration surfaces as a CheckError instead of hanging the
+  /// whole sweep.
+  std::uint64_t max_steps = 0;
 };
 
 /// One grid point: the graph reference plus fully-resolved simulator
@@ -91,12 +102,20 @@ struct SweepResult {
 };
 
 /// Expands the spec into its configuration list (no graphs generated, no
-/// simulation). Order: graphs × cache_lines × procs × policies ×
-/// touch_enables, innermost last — the row order of every emitter below.
+/// simulation). Order: graphs (each axis expanded over its size list) ×
+/// cache_lines × procs × policies × touch_enables, innermost last — the
+/// row order of every emitter below.
 std::vector<SweepConfig> expand_spec(const SweepSpec& spec);
 
+/// The spec's graph axes with per-family size lists flattened into one
+/// single-size entry per (axis, size) pair, in spec order — the axis list
+/// expand_spec() and generate_graphs() actually iterate.
+std::vector<GraphAxis> flatten_graph_axes(const SweepSpec& spec);
+
 /// Generates the shared graph list referenced by SweepConfig::graph_index:
-/// one graph per (graph axis, cache_lines) pair, in axis-major order.
+/// one graph per (flattened graph axis, cache_lines) pair, in axis-major
+/// order. Configurations differing only in P / policy / touch rule share
+/// one generated graph.
 std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec);
 
 /// Runs `seed_count` replicate experiments (seeds seed_base …
@@ -106,18 +125,73 @@ std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec);
 SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
                          std::uint64_t seed_base, std::uint64_t seed_count);
 
-/// Executes the whole sweep: every configuration's replicates run as one
-/// job, jobs are distributed over `threads` std::thread workers (0 = one
-/// per hardware thread). Result rows are in expand_spec() order regardless
-/// of worker scheduling, so the output is deterministic.
+/// Deterministic 1-of-n partition of the configuration list: shard k runs
+/// the configs whose expand_spec() index i satisfies i % count == index
+/// (round-robin, so families/sizes of very different cost spread evenly
+/// across machines). The default {0, 1} is "everything".
+struct SweepShard {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+};
+
+/// Execution knobs for run_sweep beyond the spec itself.
+struct SweepRunOptions {
+  /// Worker threads (0 = one per hardware thread).
+  unsigned threads = 0;
+  SweepShard shard;
+  /// Configs (by expand_spec() index) to skip even though this shard owns
+  /// them — how a resumed run avoids re-executing checkpointed configs.
+  std::function<bool(std::size_t config_index)> skip;
+  /// Called under a lock after each configuration's replicates finish, with
+  /// the expand_spec() index and the finished row — the checkpoint writer
+  /// and progress reporting hook. An exception thrown here cancels the
+  /// sweep exactly like a failing configuration.
+  std::function<void(std::size_t config_index, const SweepRow& row)> on_row;
+};
+
+/// Executes the sweep: every configuration's replicates run as one job,
+/// jobs are distributed over std::thread workers. Result rows are indexed
+/// by expand_spec() order regardless of worker scheduling, so the output
+/// is deterministic. Rows skipped by sharding/resume keep their config but
+/// an empty cell (deviations.count() == 0). The first failing job (or
+/// on_row exception) cancels the remaining jobs promptly and is rethrown
+/// once the workers drain.
+SweepResult run_sweep(const SweepSpec& spec, const SweepRunOptions& opts);
+
+/// run_sweep with a pre-expanded configuration list (must be
+/// expand_spec(spec)'s output) — lets callers that already expanded the
+/// grid (checkpoint resume validation) avoid expanding it twice.
+SweepResult run_sweep_expanded(const SweepSpec& spec,
+                               const std::vector<SweepConfig>& configs,
+                               const SweepRunOptions& opts);
+
+/// Convenience overload: run everything on `threads` workers.
 SweepResult run_sweep(const SweepSpec& spec, unsigned threads = 0);
 
-/// Standard error of the mean (stddev / sqrt(n); 0 below two samples).
+/// Standard error of the mean (stddev / sqrt(n)); NaN below two samples —
+/// a single replicate has no spread estimate, and pretending "0" would
+/// claim false precision. Table::add(double) renders the NaN as a missing
+/// cell.
 double stderr_of(const support::Accumulator& acc);
 
-/// Renders the sweep as a Table (one row per configuration) with mean and
-/// stderr columns for the paper's measures; use Table::to_string /
-/// to_csv / to_json for the output format.
+/// Column headers of the sweep result table, shared by to_table and the
+/// checkpoint format.
+std::vector<std::string> sweep_table_headers();
+
+/// Appends one configuration's row to a sweep table — the single source of
+/// truth for sweep-row formatting, so a checkpointed/merged CSV is
+/// byte-identical to a single-run one.
+void add_sweep_row(support::Table& table, const SweepConfig& config,
+                   const SweepCell& cell);
+
+/// The exact table cells add_sweep_row emits, as strings (the checkpoint
+/// row format).
+std::vector<std::string> sweep_row_cells(const SweepConfig& config,
+                                         const SweepCell& cell);
+
+/// Renders the sweep as a Table with mean and stderr columns for the
+/// paper's measures; rows never executed (sharded/skipped configs) are
+/// omitted. Use Table::to_string / to_csv / to_json for the output format.
 support::Table to_table(const SweepResult& result);
 
 }  // namespace wsf::exp

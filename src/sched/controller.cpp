@@ -39,12 +39,12 @@ core::ProcId RandomController::pick_victim(const Simulator& sim,
     return v;
   }
   // Uniform over processors with non-empty deques.
-  std::vector<core::ProcId> candidates;
-  candidates.reserve(procs);
+  candidates_.clear();
+  candidates_.reserve(procs);
   for (core::ProcId q = 0; q < procs; ++q)
-    if (q != thief && !sim.deque_empty(q)) candidates.push_back(q);
-  if (candidates.empty()) return thief;
-  return candidates[rng_.below(candidates.size())];
+    if (q != thief && !sim.deque_empty(q)) candidates_.push_back(q);
+  if (candidates_.empty()) return thief;
+  return candidates_[rng_.below(candidates_.size())];
 }
 
 ScriptController& ScriptController::sleep_after(const std::string& role,

@@ -55,6 +55,10 @@ class RandomController : public ScheduleController {
   RandomController(std::uint64_t seed, double stall_prob,
                    bool steal_nonempty_only);
 
+  /// Rewinds the random stream to a fresh seed, as if newly constructed —
+  /// lets Simulator::reset reuse the controller across seed replicates.
+  void reseed(std::uint64_t seed) { rng_ = support::Xoshiro256(seed); }
+
   bool awake(const Simulator& sim, core::ProcId p) override;
   core::ProcId pick_victim(const Simulator& sim, core::ProcId thief) override;
 
@@ -62,6 +66,9 @@ class RandomController : public ScheduleController {
   support::Xoshiro256 rng_;
   double stall_prob_;
   bool steal_nonempty_only_;
+  /// Scratch for pick_victim's non-empty-deque scan, kept across rounds so
+  /// the steal hot path stays allocation-free after the first call.
+  std::vector<core::ProcId> candidates_;
 };
 
 /// Scripted adversarial controller driven by node roles. Rules:

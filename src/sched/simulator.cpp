@@ -19,12 +19,9 @@ Simulator::Simulator(const core::Graph& g, const SimOptions& opts,
         opts_.seed, opts_.stall_prob, opts_.steal_nonempty_only);
     controller_ = owned_controller_.get();
   }
-  const std::size_t n = g_.num_nodes();
-  pending_.resize(n);
-  for (core::NodeId v = 0; v < static_cast<core::NodeId>(n); ++v)
-    pending_[v] = static_cast<std::uint32_t>(g_.in_degree(v));
-  executed_.assign(n, 0);
-  current_.assign(opts_.procs, core::kInvalidNode);
+  pending_.resize(g_.num_nodes());
+  executed_.resize(g_.num_nodes());
+  current_.resize(opts_.procs);
   deques_.resize(opts_.procs);
   if (opts_.cache_lines > 0) {
     caches_.reserve(opts_.procs);
@@ -32,6 +29,21 @@ Simulator::Simulator(const core::Graph& g, const SimOptions& opts,
       caches_.push_back(
           cache::make_cache(opts_.cache_policy, opts_.cache_lines));
   }
+  reset_state();
+}
+
+void Simulator::reset_state() {
+  const std::size_t n = g_.num_nodes();
+  for (core::NodeId v = 0; v < static_cast<core::NodeId>(n); ++v)
+    pending_[v] = static_cast<std::uint32_t>(g_.in_degree(v));
+  std::fill(executed_.begin(), executed_.end(), 0);
+  std::fill(current_.begin(), current_.end(), core::kInvalidNode);
+  for (auto& deque : deques_) deque.clear();  // keeps the ring buffers
+  for (auto& cache : caches_) cache->reset();
+  executed_count_ = 0;
+  round_ = 0;
+  ran_ = false;
+  result_ = SimResult();
   if (opts_.record_trace) {
     result_.proc_orders.resize(opts_.procs);
     for (auto& order : result_.proc_orders) order.reserve(n / opts_.procs + 1);
@@ -39,6 +51,16 @@ Simulator::Simulator(const core::Graph& g, const SimOptions& opts,
     result_.global_order.reserve(n);
   }
   result_.misses_per_proc.assign(opts_.procs, 0);
+}
+
+void Simulator::reset(std::uint64_t seed) {
+  WSF_REQUIRE(owned_controller_ != nullptr,
+              "Simulator::reset requires the simulator-owned random "
+              "controller; an external controller carries schedule state "
+              "the simulator cannot rewind");
+  opts_.seed = seed;
+  owned_controller_->reseed(seed);
+  reset_state();
 }
 
 SimResult simulate(const core::Graph& g, const SimOptions& opts,

@@ -40,8 +40,18 @@ class Simulator {
   Simulator(const core::Graph& g, const SimOptions& opts,
             ScheduleController* controller = nullptr);
 
-  /// Runs the whole computation and returns the trace. Can be called once.
+  /// Runs the whole computation and returns the trace. Can be called once
+  /// per construction/reset.
   SimResult run();
+
+  /// Rewinds the simulator to its pre-run state with a new schedule seed,
+  /// reusing the pending/executed/current/deque/cache allocations — the
+  /// arena a sweep job recycles across seed replicates instead of paying
+  /// O(nodes) construction per seed. run() after reset(s) produces exactly
+  /// the result of a fresh Simulator(g, opts with seed s). Only available
+  /// with the simulator-owned random controller (an external controller
+  /// carries state the simulator cannot rewind).
+  void reset(std::uint64_t seed);
 
   // ---- controller-facing const interface ----
   const core::Graph& graph() const { return g_; }
@@ -61,11 +71,14 @@ class Simulator {
  private:
   void execute(core::ProcId p, core::NodeId v);
   void try_steal(core::ProcId p);
+  /// (Re)fills the run state in place: pending counts, executed marks,
+  /// deque/cache contents, counters, and a fresh SimResult.
+  void reset_state();
 
   const core::Graph& g_;
   SimOptions opts_;
   ScheduleController* controller_;
-  std::unique_ptr<ScheduleController> owned_controller_;
+  std::unique_ptr<RandomController> owned_controller_;
 
   std::vector<std::uint32_t> pending_;
   std::vector<char> executed_;

@@ -31,6 +31,32 @@ std::string format_double(double v) {
   return s;
 }
 
+std::string csv_field(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted += '"';
+  for (const char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string csv_line(const std::vector<std::string>& cells) {
+  // A lone empty field would render as a blank line, which the parser
+  // (correctly) skips; quote it so the record round-trips.
+  if (cells.size() == 1 && cells[0].empty()) return "\"\"\n";
+  std::string line;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) line += ',';
+    line += csv_field(cells[c]);
+  }
+  line += '\n';
+  return line;
+}
+
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {
   WSF_REQUIRE(!headers_.empty(), "a table needs at least one column");
@@ -54,7 +80,32 @@ Table& Table::add(const char* cell) { return add(std::string(cell)); }
 
 Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
 Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
-Table& Table::add(double v) { return add(format_double(v)); }
+Table& Table::add(double v) {
+  // NaN marks a value that does not exist (a single-sample stderr, say)
+  // rather than a computed result, so it becomes the missing cell.
+  if (std::isnan(v)) return add(std::string());
+  return add(format_double(v));
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  WSF_REQUIRE(cells.size() <= headers_.size(),
+              "row has " << cells.size() << " cells but the table has "
+                         << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+
+// The aligned rendering of a cell: missing values print as an em dash.
+// Returns the replacement text and its display width (the dash is one
+// column wide but three UTF-8 bytes, so byte length cannot be used).
+std::pair<std::string, std::size_t> display_cell(const std::string& cell) {
+  if (cell.empty()) return {"—", 1};
+  return {cell, cell.size()};
+}
+
+}  // namespace
 
 std::string Table::to_string() const {
   std::vector<std::size_t> widths(headers_.size());
@@ -62,15 +113,18 @@ std::string Table::to_string() const {
     widths[c] = headers_[c].size();
   for (const auto& r : rows_)
     for (std::size_t c = 0; c < r.size(); ++c)
-      widths[c] = std::max(widths[c], r[c].size());
+      widths[c] = std::max(widths[c], display_cell(r[c]).second);
 
   std::ostringstream os;
   auto emit_row = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < headers_.size(); ++c) {
-      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      // Absent trailing cells of a short row are as missing as explicit
+      // empty ones; render both the same way.
+      const auto [text, width] =
+          display_cell(c < cells.size() ? cells[c] : std::string());
       os << "  ";
       // Right-align everything; numeric columns dominate bench output.
-      os << std::string(widths[c] - cell.size(), ' ') << cell;
+      os << std::string(widths[c] - width, ' ') << text;
     }
     os << "\n";
   };
@@ -83,20 +137,86 @@ std::string Table::to_string() const {
 }
 
 std::string Table::to_csv() const {
-  std::ostringstream os;
-  auto sanitize = [](std::string s) {
-    std::replace(s.begin(), s.end(), ',', ';');
-    return s;
-  };
-  for (std::size_t c = 0; c < headers_.size(); ++c)
-    os << (c ? "," : "") << sanitize(headers_[c]);
-  os << "\n";
-  for (const auto& r : rows_) {
-    for (std::size_t c = 0; c < r.size(); ++c)
-      os << (c ? "," : "") << sanitize(r[c]);
-    os << "\n";
+  std::string out = csv_line(headers_);
+  for (const auto& r : rows_) out += csv_line(r);
+  return out;
+}
+
+namespace {
+
+// RFC-4180 splitter: quoted fields may contain commas, doubled quotes, and
+// newlines; records end at LF, CRLF, or a bare CR; empty lines are skipped.
+std::vector<std::vector<std::string>> parse_csv_records(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    if (text[i] == '\n' || text[i] == '\r') {
+      ++i;  // empty line (or the LF of a CRLF already consumed below)
+      continue;
+    }
+    std::vector<std::string> fields;
+    bool record_done = false;
+    while (!record_done) {
+      std::string field;
+      if (i < n && text[i] == '"') {
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          if (text[i] == '"') {
+            if (i + 1 < n && text[i + 1] == '"') {
+              field += '"';
+              i += 2;
+            } else {
+              ++i;
+              closed = true;
+              break;
+            }
+          } else {
+            field += text[i++];
+          }
+        }
+        WSF_REQUIRE(closed, "CSV: unterminated quoted field in record "
+                                << records.size() + 1);
+        WSF_REQUIRE(i >= n || text[i] == ',' || text[i] == '\n' ||
+                        text[i] == '\r',
+                    "CSV: stray character after closing quote in record "
+                        << records.size() + 1);
+      } else {
+        while (i < n && text[i] != ',' && text[i] != '\n' && text[i] != '\r')
+          field += text[i++];
+      }
+      fields.push_back(std::move(field));
+      if (i >= n) {
+        record_done = true;
+      } else if (text[i] == ',') {
+        ++i;
+      } else {  // '\n' or '\r'
+        if (text[i] == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+        ++i;
+        record_done = true;
+      }
+    }
+    records.push_back(std::move(fields));
   }
-  return os.str();
+  return records;
+}
+
+}  // namespace
+
+Table Table::from_csv(const std::string& csv) {
+  std::vector<std::vector<std::string>> records = parse_csv_records(csv);
+  WSF_REQUIRE(!records.empty(), "CSV: no header record");
+  Table table(std::move(records[0]));
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    WSF_REQUIRE(records[r].size() <= table.headers_.size(),
+                "CSV: record " << r + 1 << " has " << records[r].size()
+                               << " fields but the header has "
+                               << table.headers_.size());
+    table.rows_.push_back(std::move(records[r]));
+  }
+  return table;
 }
 
 namespace {
@@ -154,7 +274,9 @@ std::string Table::to_json() const {
       os << ": ";
       const std::string& cell =
           c < rows_[r].size() ? rows_[r][c] : std::string();
-      if (is_json_number(cell))
+      if (cell.empty())
+        os << "null";
+      else if (is_json_number(cell))
         os << cell;
       else
         append_json_string(os, cell);

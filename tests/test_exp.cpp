@@ -1,13 +1,18 @@
 // Sweep subsystem: spec expansion, replicate aggregation, concurrent
-// execution determinism, and CSV/JSON emission.
+// execution determinism, sharding/checkpoint/merge, and CSV/JSON emission.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "support/check.hpp"
 
+#include "exp/checkpoint.hpp"
 #include "exp/sweep.hpp"
 #include "graphs/registry.hpp"
 #include "sched/harness.hpp"
@@ -20,7 +25,7 @@ using sched::TouchEnable;
 
 exp::SweepSpec small_spec() {
   exp::SweepSpec spec;
-  spec.graphs = {{"fig4", {.size = 4}}, {"fig6a", {.size = 4}}};
+  spec.graphs = {{"fig4", {.size = 4}, {}}, {"fig6a", {.size = 4}, {}}};
   spec.procs = {1, 2};
   spec.policies = {ForkPolicy::FutureFirst, ForkPolicy::ParentFirst};
   spec.touch_enables = {TouchEnable::TouchFirst};
@@ -113,9 +118,11 @@ TEST(Stderr, MatchesHandComputedValue) {
   // Sample variance 5/3; stderr = sqrt(5/3) / sqrt(4).
   EXPECT_NEAR(exp::stderr_of(acc), std::sqrt(5.0 / 3.0) / 2.0, 1e-12);
 
+  // A single replicate has no spread estimate: stderr is NaN (rendered as
+  // a missing cell), not a false-precision 0.
   support::Accumulator single;
   single.add(42.0);
-  EXPECT_DOUBLE_EQ(exp::stderr_of(single), 0.0);
+  EXPECT_TRUE(std::isnan(exp::stderr_of(single)));
 }
 
 TEST(RunSweep, DeterministicAcrossWorkerCounts) {
@@ -156,7 +163,7 @@ TEST(TouchEnableParsing, RejectsUnknownNames) {
 
 TEST(RunSweep, UnknownFamilySurfacesAsCheckError) {
   exp::SweepSpec spec = small_spec();
-  spec.graphs = {{"no-such-family", {}}};
+  spec.graphs = {{"no-such-family", {}, {}}};
   EXPECT_THROW(exp::run_sweep(spec, 2), CheckError);
 }
 
@@ -174,6 +181,315 @@ TEST(SweepOutput, CsvHasHeaderAndOneLinePerConfig) {
   EXPECT_NE(csv.find("future-first"), std::string::npos);
   EXPECT_NE(csv.find("parent-first"), std::string::npos);
 }
+
+TEST(SweepSpec, PerFamilySizeListsExpandAndShareGraphs) {
+  exp::SweepSpec spec;
+  spec.graphs = {{"fig4", {.size = 9}, {4, 6}}, {"fig6a", {.size = 5}, {}}};
+  spec.procs = {1, 2};
+  spec.policies = {ForkPolicy::FutureFirst};
+  spec.touch_enables = {TouchEnable::TouchFirst};
+  spec.cache_lines = {0, 4};
+
+  // The axis list flattens to one single-size entry per (family, size).
+  const auto axes = exp::flatten_graph_axes(spec);
+  ASSERT_EQ(axes.size(), 3u);
+  EXPECT_EQ(axes[0].family, "fig4");
+  EXPECT_EQ(axes[0].params.size, 4u);
+  EXPECT_EQ(axes[1].params.size, 6u);
+  EXPECT_EQ(axes[2].family, "fig6a");
+  EXPECT_EQ(axes[2].params.size, 5u);
+  for (const auto& axis : axes) EXPECT_TRUE(axis.sizes.empty());
+
+  // axes(3) × cache(2) × procs(2) configurations, graph-major order.
+  const auto configs = exp::expand_spec(spec);
+  ASSERT_EQ(configs.size(), 12u);
+  EXPECT_EQ(configs[0].params.size, 4u);
+  EXPECT_EQ(configs[4].params.size, 6u);
+  EXPECT_EQ(configs[8].family, "fig6a");
+  // Configurations differing only in P share one generated graph; each
+  // (family, size, cache geometry) gets its own.
+  EXPECT_EQ(configs[0].graph_index, configs[1].graph_index);
+  EXPECT_EQ(configs[2].graph_index, 1u);  // fig4@4, C=4
+  EXPECT_EQ(configs[4].graph_index, 2u);  // fig4@6, C=0
+  EXPECT_EQ(configs[8].graph_index, 4u);  // fig6a@5, C=0
+
+  // The generated graph list lines up with graph_index: every config's
+  // graph was built from its own family and (per-family) size.
+  const auto graphs = exp::generate_graphs(spec);
+  ASSERT_EQ(graphs.size(), 6u);
+  for (const auto& cfg : configs) {
+    ASSERT_LT(cfg.graph_index, graphs.size());
+    const auto direct = graphs::make_named(cfg.family, cfg.params);
+    EXPECT_EQ(graphs[cfg.graph_index].graph.num_nodes(),
+              direct.graph.num_nodes());
+  }
+}
+
+TEST(RunSweep, ShardsPartitionConfigsRoundRobin) {
+  const auto spec = small_spec();
+  std::vector<char> seen(16, 0);
+  for (const std::uint32_t shard : {0u, 1u, 2u}) {
+    exp::SweepRunOptions opts;
+    opts.threads = 2;
+    opts.shard = {shard, 3};
+    std::vector<std::size_t> indices;
+    opts.on_row = [&](std::size_t i, const exp::SweepRow&) {
+      indices.push_back(i);
+    };
+    const auto result = exp::run_sweep(spec, opts);
+    for (const std::size_t i : indices) {
+      EXPECT_EQ(i % 3, shard);
+      EXPECT_FALSE(seen[i]) << "config " << i << " ran in two shards";
+      seen[i] = 1;
+    }
+    // Non-owned rows keep their config but no replicates; to_table skips
+    // them.
+    EXPECT_EQ(exp::to_table(result).num_rows(), indices.size());
+    for (std::size_t i = 0; i < result.rows.size(); ++i)
+      EXPECT_EQ(result.rows[i].cell.deviations.count() > 0,
+                i % 3 == shard);
+  }
+  for (const char s : seen) EXPECT_TRUE(s);  // the shards cover the grid
+}
+
+TEST(RunSweep, FailureCancelsRemainingJobs) {
+  const auto spec = small_spec();  // 16 configurations
+  exp::SweepRunOptions opts;
+  opts.threads = 1;  // deterministic job order
+  std::size_t rows_seen = 0;
+  opts.on_row = [&](std::size_t, const exp::SweepRow&) {
+    if (++rows_seen == 2) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(exp::run_sweep(spec, opts), std::runtime_error);
+  // The cancel flag stops the worker loop: no further jobs are pulled
+  // after the failure.
+  EXPECT_EQ(rows_seen, 2u);
+}
+
+TEST(RunSweep, FailingConfigurationSurfacesAsCheckError) {
+  auto spec = small_spec();
+  spec.max_steps = 1;  // no schedule can finish in one round
+  EXPECT_THROW(exp::run_sweep(spec, 4), CheckError);
+}
+
+TEST(SweepOutput, SingleReplicateStderrIsMissing) {
+  auto spec = small_spec();
+  spec.seeds = 1;
+  const auto table = exp::to_table(exp::run_sweep(spec, 2));
+  const auto& headers = table.headers();
+  std::size_t stderr_col = headers.size();
+  for (std::size_t c = 0; c < headers.size(); ++c)
+    if (headers[c] == "stderr_deviations") stderr_col = c;
+  ASSERT_LT(stderr_col, headers.size());
+  for (const auto& row : table.rows()) EXPECT_EQ(row[stderr_col], "");
+  // Missing cells render as a dash in the aligned table and null in JSON.
+  EXPECT_NE(table.to_string().find("—"), std::string::npos);
+  EXPECT_NE(table.to_json().find("\"stderr_deviations\": null"),
+            std::string::npos);
+}
+
+namespace checkpointing {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(Checkpoint, RunSweepTableMatchesToTable) {
+  const auto spec = small_spec();
+  const std::string direct = exp::to_table(exp::run_sweep(spec, 2)).to_csv();
+  exp::SweepTableOptions opts;
+  opts.threads = 2;
+  EXPECT_EQ(exp::run_sweep_table(spec, opts).to_csv(), direct);
+}
+
+TEST(Checkpoint, ShardedRunsMergeByteIdentical) {
+  const auto spec = small_spec();
+  const std::string full = exp::to_table(exp::run_sweep(spec, 2)).to_csv();
+  std::vector<exp::Checkpoint> shards;
+  for (const std::uint32_t shard : {0u, 1u}) {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.shard = {shard, 2};
+    opts.checkpoint_path =
+        temp_path("shard" + std::to_string(shard) + ".ckpt");
+    exp::run_sweep_table(spec, opts);
+    shards.push_back(exp::load_checkpoint(opts.checkpoint_path));
+  }
+  EXPECT_EQ(exp::merge_checkpoints(shards).to_csv(), full);
+  // An incomplete set of shards must fail loudly, not emit a short table.
+  EXPECT_THROW(exp::merge_checkpoints({shards[1]}), CheckError);
+}
+
+TEST(Checkpoint, ResumeExecutesOnlyMissingConfigs) {
+  const auto spec = small_spec();
+  const std::string full = exp::to_table(exp::run_sweep(spec, 2)).to_csv();
+  const std::string path = temp_path("resume.ckpt");
+
+  // A "killed" run that only finished the even-indexed half of the grid.
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.shard = {0, 2};
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  // Resuming the full grid re-executes exactly the odd-indexed configs…
+  std::vector<std::size_t> executed;
+  exp::SweepTableOptions opts;
+  opts.threads = 1;
+  opts.checkpoint_path = path;
+  opts.on_row = [&](std::size_t i, const exp::SweepRow&) {
+    executed.push_back(i);
+  };
+  const auto table = exp::run_sweep_table(spec, opts);
+  EXPECT_EQ(executed.size(), 8u);
+  for (const std::size_t i : executed) EXPECT_EQ(i % 2, 1u);
+  EXPECT_EQ(table.to_csv(), full);
+
+  // …and a second resume finds everything done and runs nothing.
+  executed.clear();
+  const auto again = exp::run_sweep_table(spec, opts);
+  EXPECT_TRUE(executed.empty());
+  EXPECT_EQ(again.to_csv(), full);
+}
+
+TEST(Checkpoint, TornTailIsDroppedAndReExecuted) {
+  const auto spec = small_spec();
+  const std::string full = exp::to_table(exp::run_sweep(spec, 2)).to_csv();
+  const std::string path = temp_path("torn.ckpt");
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  // Chop the file mid-record, as a kill -9 during an append would.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(text.size(), 20u);
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text.substr(0, text.size() - 20);
+  }
+  std::vector<std::size_t> executed;
+  exp::SweepTableOptions opts;
+  opts.threads = 1;
+  opts.checkpoint_path = path;
+  opts.on_row = [&](std::size_t i, const exp::SweepRow&) {
+    executed.push_back(i);
+  };
+  const auto table = exp::run_sweep_table(spec, opts);
+  EXPECT_GE(executed.size(), 1u);  // at least the torn config re-ran
+  EXPECT_LE(executed.size(), 2u);
+  EXPECT_EQ(table.to_csv(), full);
+  // The rewritten checkpoint is whole again: merging it alone reproduces
+  // the full table (it has every config).
+  EXPECT_EQ(exp::merge_checkpoints({exp::load_checkpoint(path)}).to_csv(),
+            full);
+}
+
+TEST(Checkpoint, MismatchedSpecIsRejected) {
+  const auto spec = small_spec();
+  const std::string path = temp_path("mismatch.ckpt");
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  auto other = spec;
+  other.procs = {2, 4};  // same grid shape, different configurations
+  exp::SweepTableOptions opts;
+  opts.checkpoint_path = path;
+  EXPECT_THROW(exp::run_sweep_table(other, opts), CheckError);
+
+  // Parameters the table rows do not carry (seed base, stall probability,
+  // graph seed) are still rejected, via the spec signature.
+  auto reseeded = spec;
+  reseeded.seed_base = 99;
+  EXPECT_THROW(exp::run_sweep_table(reseeded, opts), CheckError);
+  auto restalled = spec;
+  restalled.stall_prob = 0.75;
+  EXPECT_THROW(exp::run_sweep_table(restalled, opts), CheckError);
+}
+
+TEST(Checkpoint, MergeRejectsMissingTrailingConfigs) {
+  const auto spec = small_spec();
+  const std::string path = temp_path("trailing.ckpt");
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  // Drop the record of the highest config index. A contiguity check alone
+  // would miss this truncation; the signature's grid size must catch it.
+  auto ckpt = exp::load_checkpoint(path);
+  exp::Checkpoint truncated{ckpt.signature,
+                            support::Table(ckpt.table.headers())};
+  const std::string last = std::to_string(ckpt.table.rows().size() - 1);
+  for (const auto& cells : ckpt.table.rows())
+    if (cells.front() != last) truncated.table.add_row(cells);
+  EXPECT_THROW(exp::merge_checkpoints({truncated}), CheckError);
+}
+
+TEST(Checkpoint, TornInitialHeaderWriteIsRecoverable) {
+  const auto spec = small_spec();
+  const std::string full = exp::to_table(exp::run_sweep(spec, 2)).to_csv();
+  const std::string path = temp_path("torn-header.ckpt");
+  {
+    // A run killed between the signature and header writes: one complete
+    // line, one partial. Re-running must start fresh, not error out.
+    std::ofstream out(path, std::ios::binary);
+    out << "# wsf-sweep-checkpoint " << exp::spec_signature(spec)
+        << "\nconfig_in";
+  }
+  exp::SweepTableOptions opts;
+  opts.threads = 2;
+  opts.checkpoint_path = path;
+  EXPECT_EQ(exp::run_sweep_table(spec, opts).to_csv(), full);
+
+  // But a file that is not a checkpoint at all must never be clobbered.
+  const std::string foreign = temp_path("notes.txt");
+  {
+    std::ofstream out(foreign, std::ios::binary);
+    out << "do not lose me";
+  }
+  opts.checkpoint_path = foreign;
+  EXPECT_THROW(exp::run_sweep_table(spec, opts), CheckError);
+  std::ifstream check(foreign);
+  std::string contents;
+  std::getline(check, contents);
+  EXPECT_EQ(contents, "do not lose me");
+}
+
+TEST(Checkpoint, SignatureCoversResultAffectingParameters) {
+  const auto spec = small_spec();
+  const std::string base = exp::spec_signature(spec);
+  auto changed = spec;
+  changed.seed_base = 99;
+  EXPECT_NE(exp::spec_signature(changed), base);
+  changed = spec;
+  changed.stall_prob = 0.9;
+  EXPECT_NE(exp::spec_signature(changed), base);
+  changed = spec;
+  changed.cache_policy = "fifo";
+  EXPECT_NE(exp::spec_signature(changed), base);
+  changed = spec;
+  changed.graphs[0].params.seed = 5;  // graph generation seed
+  EXPECT_NE(exp::spec_signature(changed), base);
+  changed = spec;
+  changed.graphs[0].sizes = {4};  // same size via the per-family list
+  EXPECT_EQ(exp::spec_signature(changed), base);
+}
+
+}  // namespace checkpointing
 
 TEST(SweepOutput, JsonIsAnArrayOfRowObjects) {
   const auto spec = small_spec();

@@ -48,6 +48,47 @@ TEST(Simulator, ExecutesEveryNodeOnceAcrossProcs) {
   }
 }
 
+TEST(Simulator, ResetReproducesFreshConstruction) {
+  const auto gen =
+      graphs::make_named("fig6a", {.size = 5, .size2 = 3, .cache_lines = 4});
+  SimOptions opts;
+  opts.procs = 4;
+  opts.cache_lines = 4;
+  opts.stall_prob = 0.3;
+  opts.seed = 3;
+  // One reused simulator, reset per seed, must match a fresh construction
+  // per seed bit for bit — run_replicates depends on this equivalence.
+  sched::Simulator reused(gen.graph, opts);
+  for (std::uint64_t seed = 3; seed < 8; ++seed) {
+    if (seed != 3) reused.reset(seed);
+    const SimResult warm = reused.run();
+    opts.seed = seed;
+    const SimResult fresh = sched::simulate(gen.graph, opts);
+    EXPECT_EQ(warm.global_order, fresh.global_order);
+    EXPECT_EQ(warm.proc_orders, fresh.proc_orders);
+    EXPECT_EQ(warm.stolen_nodes, fresh.stolen_nodes);
+    EXPECT_EQ(warm.steals, fresh.steals);
+    EXPECT_EQ(warm.steal_attempts, fresh.steal_attempts);
+    EXPECT_EQ(warm.failed_steals, fresh.failed_steals);
+    EXPECT_EQ(warm.declined_steals, fresh.declined_steals);
+    EXPECT_EQ(warm.idle_steps, fresh.idle_steps);
+    EXPECT_EQ(warm.steps, fresh.steps);
+    EXPECT_EQ(warm.misses_per_proc, fresh.misses_per_proc);
+    EXPECT_EQ(warm.premature_touches, fresh.premature_touches);
+  }
+}
+
+TEST(Simulator, ResetRequiresOwnedController) {
+  const auto gen = graphs::fib_dag(6);
+  SimOptions opts;
+  opts.procs = 2;
+  ScriptController script;
+  sched::Simulator sim(gen.graph, opts, &script);
+  // An external controller carries schedule state the simulator cannot
+  // rewind, so reset must refuse rather than silently desynchronize.
+  EXPECT_THROW(sim.reset(5), CheckError);
+}
+
 TEST(Simulator, DeterministicForSeed) {
   const auto gen = graphs::fib_dag(10);
   SimOptions opts;

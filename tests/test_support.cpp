@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "support/check.hpp"
 #include "support/cli.hpp"
@@ -212,6 +215,92 @@ TEST(Table, CsvOutput) {
   Table t({"a", "b"});
   t.row().add(std::int64_t{1}).add(std::int64_t{2});
   EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvFieldQuotingRules) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field(""), "");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csv_field("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_line({"a,b", "c"}), "\"a,b\",c\n");
+  // A lone empty field is quoted so the record is not a blank line.
+  EXPECT_EQ(csv_line({""}), "\"\"\n");
+}
+
+TEST(Table, SingleColumnMissingCellRoundTrips) {
+  Table t({"only"});
+  t.row().add(std::numeric_limits<double>::quiet_NaN());
+  t.row().add("x");
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "only\n\"\"\nx\n");
+  const Table back = Table::from_csv(csv);
+  EXPECT_EQ(back.rows(), t.rows());
+}
+
+TEST(Table, CsvQuotesCellsWithCommas) {
+  // The seed emitter replaced ',' with ';' — silently corrupting any cell
+  // with an embedded comma. RFC-4180 quoting keeps the bytes.
+  Table t({"family", "note"});
+  t.row().add("fig2,fig4").add("a \"quoted\" word");
+  EXPECT_EQ(t.to_csv(),
+            "family,note\n\"fig2,fig4\",\"a \"\"quoted\"\" word\"\n");
+}
+
+TEST(Table, CsvRoundTripsQuotedCells) {
+  Table t({"name", "value", "note"});
+  t.row().add("alpha,beta").add(std::int64_t{1}).add("say \"hi\"");
+  t.row().add("two\nlines").add(2.5).add("");  // missing cell round-trips
+  t.row().add(",,").add(-3.75).add("\"");
+  const std::string csv = t.to_csv();
+  const Table back = Table::from_csv(csv);
+  EXPECT_EQ(back.headers(), t.headers());
+  EXPECT_EQ(back.rows(), t.rows());
+  EXPECT_EQ(back.to_csv(), csv);
+}
+
+TEST(Table, FromCsvAcceptsCrlfBareCrAndMissingFinalNewline) {
+  const Table t = Table::from_csv("a,b\r\n1,2\r3,4");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(t.rows()[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(Table, FromCsvSkipsEmptyLines) {
+  const Table t = Table::from_csv("a,b\n\n1,2\n\n\n3,4\n\n");
+  ASSERT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, FromCsvAllowsShortRowsButNotLongOnes) {
+  const Table t = Table::from_csv("a,b,c\n1,2\n");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0].size(), 2u);
+  EXPECT_THROW(Table::from_csv("a,b\n1,2,3\n"), CheckError);
+}
+
+TEST(Table, FromCsvRejectsMalformed) {
+  EXPECT_THROW(Table::from_csv(""), CheckError);
+  EXPECT_THROW(Table::from_csv("a,b\n\"unterminated"), CheckError);
+  EXPECT_THROW(Table::from_csv("a,b\n\"x\"y,2\n"), CheckError);
+}
+
+TEST(Table, MissingCellRendering) {
+  Table t({"a", "b"});
+  t.row().add(std::numeric_limits<double>::quiet_NaN()).add(1.5);
+  EXPECT_EQ(t.rows()[0][0], "");
+  // Aligned output renders the em dash, CSV an empty field, JSON null.
+  EXPECT_NE(t.to_string().find("—"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,b\n,1.5\n");
+  EXPECT_NE(t.to_json().find("\"a\": null"), std::string::npos);
+  EXPECT_NE(t.to_json().find("\"b\": 1.5"), std::string::npos);
+}
+
+TEST(Table, AddRowBulkAppends) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), CheckError);
 }
 
 TEST(Table, RejectsOverfullRow) {

@@ -4,10 +4,18 @@
 // of run_experiment() with seeds --seed-base, --seed-base+1, …, so any row
 // can be re-derived with sim_explorer or a single-run harness.
 //
+// Sweeps are restartable and distributable: --checkpoint appends finished
+// configurations to a CSV as they complete (a killed run resumes by
+// re-executing only the missing ones), --shard k/n runs a deterministic
+// 1-of-n slice of the grid on this machine, and --merge reassembles shard
+// checkpoints into output byte-identical to a single-process run.
+//
 //   ./build/tools/wsf-sweep                                  # default grid
 //   ./build/tools/wsf-sweep --smoke --format=csv --out=smoke.csv   # CI
-//   ./build/tools/wsf-sweep --families=fig2,fig4 --procs=1,2,4,8
+//   ./build/tools/wsf-sweep --families=fig2:4:6:8,fig4 --procs=1,2,4,8
 //       --policies=future-first,parent-first --cache-lines=0,16 --seeds=8
+//   ./build/tools/wsf-sweep --shard=0/2 --checkpoint=shard0.ckpt ...
+//   ./build/tools/wsf-sweep --merge=shard0.ckpt,shard1.ckpt --format=csv
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -17,20 +25,22 @@
 #include <string>
 #include <vector>
 
+#include "exp/checkpoint.hpp"
 #include "exp/sweep.hpp"
 #include "graphs/registry.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/table.hpp"
 
 using namespace wsf;
 
 namespace {
 
-std::vector<std::string> split_list(const std::string& s) {
+std::vector<std::string> split_on(const std::string& s, char sep) {
   std::vector<std::string> out;
   std::string item;
   for (const char ch : s) {
-    if (ch == ',') {
+    if (ch == sep) {
       if (!item.empty()) out.push_back(item);
       item.clear();
     } else {
@@ -38,31 +48,64 @@ std::vector<std::string> split_list(const std::string& s) {
     }
   }
   if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out = split_on(s, ',');
   WSF_REQUIRE(!out.empty(), "empty comma-separated list '" << s << "'");
   return out;
 }
 
 template <typename T>
+T parse_number(const std::string& item) {
+  WSF_REQUIRE(!item.empty() &&
+                  item.find_first_not_of("0123456789") == std::string::npos,
+              "expected a number, got '" << item << "'");
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(item);
+  } catch (const std::out_of_range&) {
+    WSF_REQUIRE(false, "number out of range: '" << item << "'");
+  }
+  if constexpr (std::numeric_limits<T>::max() <
+                std::numeric_limits<unsigned long long>::max()) {
+    WSF_REQUIRE(v <= std::numeric_limits<T>::max(),
+                "number out of range: '" << item << "'");
+  }
+  return static_cast<T>(v);
+}
+
+template <typename T>
 std::vector<T> split_numbers(const std::string& s) {
   std::vector<T> out;
-  for (const std::string& item : split_list(s)) {
-    WSF_REQUIRE(!item.empty() &&
-                    item.find_first_not_of("0123456789") == std::string::npos,
-                "expected a number, got '" << item << "'");
-    unsigned long long v = 0;
-    try {
-      v = std::stoull(item);
-    } catch (const std::out_of_range&) {
-      WSF_REQUIRE(false, "number out of range: '" << item << "'");
-    }
-    if constexpr (std::numeric_limits<T>::max() <
-                  std::numeric_limits<unsigned long long>::max()) {
-      WSF_REQUIRE(v <= std::numeric_limits<T>::max(),
-                  "number out of range: '" << item << "'");
-    }
-    out.push_back(static_cast<T>(v));
-  }
+  for (const std::string& item : split_list(s))
+    out.push_back(parse_number<T>(item));
   return out;
+}
+
+/// One --families item: "name" (sizes from --size) or "name:s1:s2:…"
+/// (a per-family size axis).
+exp::GraphAxis parse_family(const std::string& item,
+                            const graphs::RegistryParams& defaults) {
+  const std::vector<std::string> parts = split_on(item, ':');
+  WSF_REQUIRE(!parts.empty(), "empty family entry in --families");
+  exp::GraphAxis axis{parts[0], defaults, {}};
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    axis.sizes.push_back(parse_number<std::uint32_t>(parts[i]));
+  return axis;
+}
+
+exp::SweepShard parse_shard(const std::string& s) {
+  const std::vector<std::string> parts = split_on(s, '/');
+  WSF_REQUIRE(parts.size() == 2,
+              "--shard must be k/n (e.g. 0/2), got '" << s << "'");
+  exp::SweepShard shard;
+  shard.index = parse_number<std::uint32_t>(parts[0]);
+  shard.count = parse_number<std::uint32_t>(parts[1]);
+  WSF_REQUIRE(shard.count >= 1 && shard.index < shard.count,
+              "--shard index must be in [0, count), got '" << s << "'");
+  return shard;
 }
 
 std::string known_families() {
@@ -70,6 +113,25 @@ std::string known_families() {
   for (const auto& name : graphs::registry_names())
     all += (all.empty() ? "" : ", ") + name;
   return all;
+}
+
+void write_rendered(const std::string& rendered, const std::string& path) {
+  if (path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return;
+  }
+  std::ofstream file(path);
+  WSF_REQUIRE(file.good(), "cannot open '" << path << "'");
+  file << rendered;
+  WSF_REQUIRE(file.good(), "write to '" << path << "' failed");
+}
+
+std::string render(const support::Table& table, const std::string& format) {
+  if (format == "csv") return table.to_csv();
+  if (format == "json") return table.to_json();
+  WSF_REQUIRE(format == "table",
+              "unknown --format '" << format << "' (table | csv | json)");
+  return table.to_string();
 }
 
 }  // namespace
@@ -81,8 +143,11 @@ int main(int argc, char** argv) {
       "aggregated deviation / additional-miss / steal measures");
   auto& families = args.add_string(
       "families", "fig2,fig4,fig6a,forkjoin,pipeline",
-      "comma-separated construction names (" + known_families() + ")");
-  auto& size = args.add_int("size", 6, "primary size parameter, all families");
+      "comma-separated construction names (" + known_families() +
+          "); append :s1:s2:… for a per-family size axis, e.g. fig2:4:6:8");
+  auto& size = args.add_int("size", 6,
+                            "primary size parameter for families without "
+                            "their own :size list");
   auto& size2 = args.add_int("size2", 4, "secondary size parameter");
   auto& graph_seed = args.add_int("graph-seed", 1,
                                   "generation seed for random families");
@@ -104,6 +169,19 @@ int main(int argc, char** argv) {
   auto& seed_base = args.add_int("seed-base", 1, "first replicate seed");
   auto& threads = args.add_int("threads", 0,
                                "worker threads (0 = hardware concurrency)");
+  auto& shard = args.add_string("shard", "0/1",
+                                "run only slice k of n of the grid (k/n); "
+                                "configs are assigned round-robin, so shard "
+                                "CSVs merge back into the single-run result");
+  auto& checkpoint = args.add_string(
+      "checkpoint", "",
+      "append finished configurations to this CSV and resume from it: a "
+      "killed run re-executes only the missing configs");
+  auto& merge = args.add_string(
+      "merge", "",
+      "comma-separated shard checkpoint files to merge into one result "
+      "(runs nothing and ignores the grid flags; output is byte-identical "
+      "to an unsharded run)");
   auto& format = args.add_string("format", "table", "table | csv | json");
   auto& out = args.add_string("out", "",
                               "write the rendered output to this file "
@@ -115,6 +193,26 @@ int main(int argc, char** argv) {
   if (!args.parse(argc, argv)) return 0;
 
   try {
+    if (!merge.value.empty()) {
+      // Merge mode reads finished checkpoints; flags describing a run
+      // would be silently meaningless, so reject the conflicting ones.
+      WSF_REQUIRE(checkpoint.value.empty(),
+                  "--merge and --checkpoint cannot be combined (merge "
+                  "reads shard checkpoints and runs nothing)");
+      WSF_REQUIRE(shard.value == "0/1",
+                  "--merge and --shard cannot be combined");
+      std::vector<exp::Checkpoint> shards;
+      for (const std::string& path : split_list(merge.value))
+        shards.push_back(exp::load_checkpoint(path));
+      const support::Table merged = exp::merge_checkpoints(shards);
+      write_rendered(render(merged, format.value), out.value);
+      std::fprintf(stderr, "wsf-sweep: merged %zu shard checkpoints, %zu "
+                           "configurations%s%s\n",
+                   shards.size(), merged.num_rows(),
+                   out.value.empty() ? "" : " -> ", out.value.c_str());
+      return 0;
+    }
+
     exp::SweepSpec spec;
     graphs::RegistryParams params;
     params.size = static_cast<std::uint32_t>(size.value);
@@ -124,7 +222,7 @@ int main(int argc, char** argv) {
       params.size = 4;
       params.size2 = 3;
       for (const char* family : {"fig2", "fig4"})
-        spec.graphs.push_back({family, params});
+        spec.graphs.push_back({family, params, {}});
       spec.procs = {1, 2, 4, 8, 16};
       spec.policies = {core::ForkPolicy::FutureFirst,
                        core::ForkPolicy::ParentFirst};
@@ -134,7 +232,7 @@ int main(int argc, char** argv) {
       spec.seeds = 2;
     } else {
       for (const std::string& family : split_list(families.value))
-        spec.graphs.push_back({family, params});
+        spec.graphs.push_back(parse_family(family, params));
       spec.procs = split_numbers<std::uint32_t>(procs.value);
       spec.policies.clear();
       for (const std::string& p : split_list(policies.value))
@@ -149,41 +247,27 @@ int main(int argc, char** argv) {
     spec.stall_prob = stall.value;
     spec.seed_base = static_cast<std::uint64_t>(seed_base.value);
 
+    exp::SweepTableOptions run_opts;
+    run_opts.threads = static_cast<unsigned>(threads.value);
+    run_opts.shard = parse_shard(shard.value);
+    run_opts.checkpoint_path = checkpoint.value;
+
     const auto t0 = std::chrono::steady_clock::now();
-    const auto result =
-        exp::run_sweep(spec, static_cast<unsigned>(threads.value));
+    const support::Table table = exp::run_sweep_table(spec, run_opts);
     const auto elapsed_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - t0)
             .count();
 
-    const auto table = exp::to_table(result);
-    std::string rendered;
-    if (format.value == "csv") {
-      rendered = table.to_csv();
-    } else if (format.value == "json") {
-      rendered = table.to_json();
-    } else {
-      WSF_REQUIRE(format.value == "table",
-                  "unknown --format '" << format.value
-                                       << "' (table | csv | json)");
-      rendered = table.to_string();
-    }
-
-    if (out.value.empty()) {
-      std::fputs(rendered.c_str(), stdout);
-    } else {
-      std::ofstream file(out.value);
-      WSF_REQUIRE(file.good(), "cannot open '" << out.value << "'");
-      file << rendered;
-      WSF_REQUIRE(file.good(), "write to '" << out.value << "' failed");
-    }
-    std::fprintf(stderr,
-                 "wsf-sweep: %zu configurations x %llu seeds in %lld ms%s%s\n",
-                 result.rows.size(),
-                 static_cast<unsigned long long>(result.seeds),
-                 static_cast<long long>(elapsed_ms),
-                 out.value.empty() ? "" : " -> ", out.value.c_str());
+    write_rendered(render(table, format.value), out.value);
+    std::fprintf(
+        stderr,
+        "wsf-sweep: %zu configurations (shard %s) x %llu seeds in %lld "
+        "ms%s%s\n",
+        table.num_rows(), shard.value.c_str(),
+        static_cast<unsigned long long>(spec.seeds),
+        static_cast<long long>(elapsed_ms), out.value.empty() ? "" : " -> ",
+        out.value.c_str());
   } catch (const CheckError& e) {
     std::fprintf(stderr, "wsf-sweep: %s\n", e.what());
     return 1;
