@@ -1,10 +1,17 @@
 // E8 — the paper's second contribution: on structured computations,
 // choosing the FUTURE thread first at forks gives better cache locality
 // than choosing the parent thread first. Head-to-head on every family.
+//
+// Built as a demonstration of the exp::analysis pipeline: raw per-seed
+// rows go into one long table, group_by aggregates the replicates, pivot
+// reshapes policies into columns, and with_ratio derives the pf/ff
+// comparison — the same ops wsf-plot uses on sweep CSVs.
 #include "bench_common.hpp"
+#include "exp/analysis.hpp"
 #include "graphs/registry.hpp"
 
 using namespace wsf;
+namespace an = exp::analysis;
 
 int main(int argc, char** argv) {
   support::ArgParser args(
@@ -22,8 +29,6 @@ int main(int argc, char** argv) {
       "E8 — future-first vs parent-first (Sections 5.1 vs 5.2)",
       "on structured computations future-first must not lose, and on the "
       "touch-heavy constructions it wins by growing factors");
-  support::Table table({"family", "nodes", "t", "ff devs", "pf devs",
-                        "ff add'l miss", "pf add'l miss", "pf/ff miss"});
   struct Fam {
     const char* name;
     graphs::RegistryParams params;
@@ -39,10 +44,13 @@ int main(int argc, char** argv) {
       {"random-single-touch", {.size = 40, .size2 = 0, .cache_lines = C}},
       {"random-local-touch", {.size = 40, .size2 = 0, .cache_lines = C}},
   };
+
+  // One long row per (family, policy, seed): the raw observations every
+  // downstream table is derived from relationally.
+  support::Table raw({"family", "nodes", "t", "policy", "seed",
+                      "deviations", "additional_misses"});
   for (const auto& fam : fams) {
     const auto gen = graphs::make_named(fam.name, fam.params);
-    bench::MeanExperiment results[2];
-    int i = 0;
     for (auto policy :
          {core::ForkPolicy::FutureFirst, core::ForkPolicy::ParentFirst}) {
       sched::SimOptions opts;
@@ -50,23 +58,36 @@ int main(int argc, char** argv) {
       opts.policy = policy;
       opts.cache_lines = C;
       opts.stall_prob = 0.25;
-      results[i++] = bench::mean_over_seeds(gen.graph, opts, S);
+      for (std::uint64_t k = 1; k <= S; ++k) {
+        const auto cell = exp::run_replicates(gen.graph, opts, k, 1);
+        raw.row()
+            .add(fam.name)
+            .add(cell.stats.nodes)
+            .add(cell.stats.touches)
+            .add(to_string(policy))
+            .add(k)
+            .add(cell.deviations.mean())
+            .add(cell.additional_misses.mean());
+      }
     }
-    const double ff = std::max(results[0].additional_misses, 0.0);
-    const double pf = std::max(results[1].additional_misses, 0.0);
-    table.row()
-        .add(fam.name)
-        .add(results[0].nodes)
-        .add(results[0].touches)
-        .add(results[0].deviations)
-        .add(results[1].deviations)
-        .add(results[0].additional_misses)
-        .add(results[1].additional_misses)
-        .add(ff > 0 ? pf / ff : (pf > 0 ? 99.0 : 1.0));
   }
-  table.print("");
+
+  // Replicates → means, policies → columns, comparison → derived ratio.
+  const support::Table means = an::group_by(
+      raw, {"family", "nodes", "t", "policy"},
+      {{"deviations", an::Agg::Mean, "devs"},
+       {"additional_misses", an::Agg::Mean, "misses"}});
+  const support::Table devs =
+      an::pivot(means, {"family", "nodes", "t"}, "policy", "devs");
+  support::Table misses =
+      an::pivot(means, {"family", "nodes", "t"}, "policy", "misses");
+  misses = an::with_ratio(misses, "pf/ff miss", "parent-first",
+                          "future-first");
+  devs.print("deviations (mean over seeds)");
+  misses.print("additional misses (mean over seeds)");
   std::printf(
       "reading: 'pf/ff miss' > 1 means parent-first pays more additional\n"
-      "misses than future-first on the same DAG under the same schedules.\n");
+      "misses than future-first on the same DAG under the same schedules\n"
+      "(blank when future-first pays none at all).\n");
   return 0;
 }

@@ -1,0 +1,604 @@
+#include "exp/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/sweep.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace wsf::exp::analysis {
+
+using support::Table;
+
+Table select(const Table& t, const std::vector<std::string>& columns) {
+  WSF_REQUIRE(!columns.empty(), "select needs at least one column");
+  std::vector<std::size_t> indices;
+  indices.reserve(columns.size());
+  for (const std::string& name : columns)
+    indices.push_back(t.column_index(name));
+  Table out(columns);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(indices.size());
+    for (const std::size_t c : indices) cells.push_back(t.cell(r, c));
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+Table filter(const Table& t,
+             const std::function<bool(const RowView&)>& pred) {
+  Table out(t.headers());
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    if (pred(RowView(t, r))) out.add_row(t.rows()[r]);
+  return out;
+}
+
+Table filter_eq(const Table& t, const std::string& column,
+                const std::string& value) {
+  const std::size_t c = t.column_index(column);
+  Table out(t.headers());
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    if (t.cell(r, c) == value) out.add_row(t.rows()[r]);
+  return out;
+}
+
+namespace {
+
+const char* agg_prefix(Agg agg) {
+  switch (agg) {
+    case Agg::Mean: return "mean";
+    case Agg::Stderr: return "stderr";
+    case Agg::Min: return "min";
+    case Agg::Max: return "max";
+    case Agg::Count: return "count";
+    case Agg::Sum: return "sum";
+  }
+  return "agg";
+}
+
+double aggregate_of(const support::Accumulator& acc, Agg agg) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  switch (agg) {
+    case Agg::Mean:
+      return acc.count() ? acc.mean() : nan;
+    case Agg::Stderr:
+      // Delegates to exp::stderr_of (NaN below two samples) so the sweep
+      // tables and group_by aggregates can never disagree on the formula.
+      return stderr_of(acc);
+    case Agg::Min:
+      return acc.count() ? acc.min() : nan;
+    case Agg::Max:
+      return acc.count() ? acc.max() : nan;
+    case Agg::Count:
+      return static_cast<double>(acc.count());
+    case Agg::Sum:
+      return acc.count() ? acc.sum() : nan;
+  }
+  return nan;
+}
+
+}  // namespace
+
+Table group_by(const Table& t, const std::vector<std::string>& keys,
+               const std::vector<AggSpec>& aggs) {
+  WSF_REQUIRE(!keys.empty(), "group_by needs at least one key column");
+  WSF_REQUIRE(!aggs.empty(), "group_by needs at least one aggregate");
+  std::vector<std::size_t> key_idx;
+  for (const std::string& k : keys) key_idx.push_back(t.column_index(k));
+  std::vector<std::size_t> agg_idx;
+  std::vector<std::string> headers = keys;
+  for (const AggSpec& a : aggs) {
+    agg_idx.push_back(t.column_index(a.column));
+    headers.push_back(a.as.empty()
+                          ? std::string(agg_prefix(a.agg)) + "_" + a.column
+                          : a.as);
+  }
+
+  // Groups in first-appearance order so the output is deterministic.
+  std::map<std::vector<std::string>, std::size_t> group_of;
+  std::vector<std::vector<std::string>> group_keys;
+  std::vector<std::vector<support::Accumulator>> group_accs;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<std::string> key;
+    key.reserve(key_idx.size());
+    for (const std::size_t c : key_idx) key.push_back(t.cell(r, c));
+    auto [it, inserted] = group_of.emplace(key, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(std::move(key));
+      group_accs.emplace_back(aggs.size());
+    }
+    std::vector<support::Accumulator>& accs = group_accs[it->second];
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      // Missing cells carry no sample; number() rejects non-numeric ones.
+      const double v = t.number(r, agg_idx[a]);
+      if (!std::isnan(v)) accs[a].add(v);
+    }
+  }
+
+  Table out(headers);
+  for (std::size_t g = 0; g < group_keys.size(); ++g) {
+    out.row();
+    for (const std::string& k : group_keys[g]) out.add(k);
+    for (std::size_t a = 0; a < aggs.size(); ++a)
+      out.add(aggregate_of(group_accs[g][a], aggs[a].agg));
+  }
+  return out;
+}
+
+Table pivot(const Table& t, const std::vector<std::string>& row_keys,
+            const std::string& column_key,
+            const std::string& value_column) {
+  WSF_REQUIRE(!row_keys.empty(), "pivot needs at least one row key");
+  std::vector<std::size_t> key_idx;
+  for (const std::string& k : row_keys) key_idx.push_back(t.column_index(k));
+  const std::size_t col_idx = t.column_index(column_key);
+  const std::size_t val_idx = t.column_index(value_column);
+
+  // Output rows and columns both in first-appearance order.
+  std::map<std::vector<std::string>, std::size_t> row_of;
+  std::vector<std::vector<std::string>> row_keys_seen;
+  std::map<std::string, std::size_t> col_of;
+  std::vector<std::string> cols_seen;
+  struct Entry {
+    std::size_t row, col;
+    std::string value;
+  };
+  std::vector<Entry> entries;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> seen;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<std::string> key;
+    key.reserve(key_idx.size());
+    for (const std::size_t c : key_idx) key.push_back(t.cell(r, c));
+    auto [rit, rnew] = row_of.emplace(key, row_keys_seen.size());
+    if (rnew) row_keys_seen.push_back(std::move(key));
+    const std::string& col_val = t.cell(r, col_idx);
+    auto [cit, cnew] = col_of.emplace(col_val, cols_seen.size());
+    if (cnew) cols_seen.push_back(col_val);
+    WSF_REQUIRE(
+        seen.emplace(std::make_pair(rit->second, cit->second), r).second,
+        "pivot: two rows share " << column_key << "='" << col_val
+                                 << "' under the same row key (aggregate "
+                                 << "before pivoting)");
+    entries.push_back({rit->second, cit->second, t.cell(r, val_idx)});
+  }
+
+  std::vector<std::string> headers = row_keys;
+  headers.insert(headers.end(), cols_seen.begin(), cols_seen.end());
+  Table out(headers);
+  std::vector<std::vector<std::string>> matrix(
+      row_keys_seen.size(),
+      std::vector<std::string>(headers.size()));
+  for (std::size_t g = 0; g < row_keys_seen.size(); ++g)
+    for (std::size_t k = 0; k < row_keys.size(); ++k)
+      matrix[g][k] = row_keys_seen[g][k];
+  for (const Entry& e : entries)
+    matrix[e.row][row_keys.size() + e.col] = e.value;
+  for (auto& row : matrix) out.add_row(std::move(row));
+  return out;
+}
+
+Table with_column(const Table& t, const std::string& name,
+                  const std::function<std::string(const RowView&)>& fn) {
+  std::vector<std::string> headers = t.headers();
+  headers.push_back(name);
+  Table out(headers);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<std::string> cells = t.rows()[r];
+    cells.resize(t.headers().size());  // pad a short row up to the column
+    cells.push_back(fn(RowView(t, r)));
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+Table with_ratio(const Table& t, const std::string& name,
+                 const std::string& numerator,
+                 const std::string& denominator) {
+  const std::size_t num_idx = t.column_index(numerator);
+  const std::size_t den_idx = t.column_index(denominator);
+  return with_column(t, name, [&, num_idx, den_idx](const RowView& r) {
+    const double num = t.number(r.index(), num_idx);
+    const double den = t.number(r.index(), den_idx);
+    if (std::isnan(num) || std::isnan(den) || den == 0.0)
+      return std::string();
+    return support::format_double(num / den);
+  });
+}
+
+Table with_constant(const Table& t, const std::string& name,
+                    const std::string& value) {
+  return with_column(t, name,
+                     [&value](const RowView&) { return value; });
+}
+
+namespace {
+
+// Numeric-aware cell ordering: -1 / 0 / +1.
+int compare_cells(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) {
+    if (a.empty() && b.empty()) return 0;
+    return a.empty() ? -1 : 1;  // missing sorts first
+  }
+  double na = 0.0, nb = 0.0;
+  if (support::cell_to_number(a, &na) && support::cell_to_number(b, &nb)) {
+    if (na < nb) return -1;
+    if (na > nb) return 1;
+    return 0;
+  }
+  return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+}
+
+}  // namespace
+
+Table sort_by(const Table& t, const std::vector<std::string>& columns) {
+  WSF_REQUIRE(!columns.empty(), "sort_by needs at least one column");
+  std::vector<std::size_t> idx;
+  for (const std::string& c : columns) idx.push_back(t.column_index(c));
+  std::vector<std::size_t> order(t.num_rows());
+  for (std::size_t r = 0; r < order.size(); ++r) order[r] = r;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     for (const std::size_t c : idx) {
+                       const int cmp = compare_cells(t.cell(a, c),
+                                                     t.cell(b, c));
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  Table out(t.headers());
+  for (const std::size_t r : order) out.add_row(t.rows()[r]);
+  return out;
+}
+
+std::vector<std::string> distinct(const Table& t,
+                                  const std::string& column) {
+  const std::size_t c = t.column_index(column);
+  std::vector<std::string> values;
+  std::map<std::string, bool> seen;
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    if (seen.emplace(t.cell(r, c), true).second)
+      values.push_back(t.cell(r, c));
+  return values;
+}
+
+Table concat(const Table& a, const Table& b) {
+  WSF_REQUIRE(a.headers() == b.headers(),
+              "concat: the tables have different columns");
+  Table out(a.headers());
+  for (const auto& row : a.rows()) out.add_row(row);
+  for (const auto& row : b.rows()) out.add_row(row);
+  return out;
+}
+
+Table load_sweep(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  WSF_REQUIRE(first != std::string::npos, "empty sweep input");
+  if (text[first] == '[') return Table::from_json(text);
+
+  if (text.rfind(kCheckpointSignaturePrefix, 0) == 0) {
+    // A (possibly torn) checkpoint: drop the signature line and an
+    // unterminated final record, order rows by configuration index, and
+    // strip the bookkeeping columns so the result is plain sweep rows.
+    std::string body = text;
+    if (body.back() != '\n') {
+      const std::size_t last = body.rfind('\n');
+      WSF_REQUIRE(last != std::string::npos,
+                  "checkpoint input has no complete record");
+      body.resize(last + 1);
+    }
+    const std::size_t line_end = body.find('\n');
+    Table t = Table::from_csv(body.substr(line_end + 1));
+    WSF_REQUIRE(t.headers().front() == "config_index",
+                "checkpoint input is missing its config_index column");
+    t = sort_by(t, {"config_index"});
+    std::vector<std::string> keep;
+    for (const std::string& h : t.headers())
+      if (h != "config_index" && h != "wall_ms") keep.push_back(h);
+    return select(t, keep);
+  }
+  return Table::from_csv(text);
+}
+
+namespace {
+
+std::vector<FigureFamily> build_figure_families() {
+  const std::string misses = "mean_additional_misses";
+  const std::string devs = "mean_deviations";
+  return {
+      {"fig2", "single-touch future chain (Fig. 2): extra cache misses "
+               "under parallel stealing", "procs", misses},
+      {"fig3", "unstructured future passing (Fig. 3): deviation blow-up",
+       "procs", devs},
+      {"fig4", "multi-touch chain (Fig. 4): deviations from late touches",
+       "procs", devs},
+      {"fig5a", "non-LIFO touch order (Fig. 5a): deviations", "procs",
+       devs},
+      {"fig5b", "touch fan-in (Fig. 5b): deviations", "procs", devs},
+      {"fig6a", "deviation lower bound, chain gadget (Fig. 6a)", "procs",
+       devs},
+      {"fig6b", "deviation lower bound, repeated gadget (Fig. 6b)",
+       "procs", devs},
+      {"fig6c", "deviation lower bound, nested gadget (Fig. 6c)", "procs",
+       devs},
+      {"fig7a", "local-touch chain (Fig. 7a): extra misses stay O(C)",
+       "procs", misses},
+      {"fig7b", "blocked local-touch chain (Fig. 7b): extra misses",
+       "procs", misses},
+      {"fig8", "super-final nodes (Fig. 8): parent-first extra misses",
+       "procs", misses},
+      {"chain", "serial chain baseline: extra misses", "procs", misses},
+      {"future-chain", "deviation chains: extra misses vs chain length",
+       "procs", misses},
+      {"forkjoin", "binary fork-join tree: extra misses", "procs", misses},
+      {"fib", "fib DAG: extra misses", "procs", misses},
+      {"pipeline", "pipeline DAG: extra misses", "procs", misses},
+      {"unstructured-mix", "structured vs unstructured ablation: "
+                           "deviations", "procs", devs},
+      {"random-single-touch", "random structured DAG, single touches: "
+                              "extra misses", "procs", misses},
+      {"random-local-touch", "random structured DAG, local touches: "
+                             "extra misses", "procs", misses},
+  };
+}
+
+}  // namespace
+
+const std::vector<FigureFamily>& figure_families() {
+  static const std::vector<FigureFamily> families = build_figure_families();
+  return families;
+}
+
+const FigureFamily* find_figure_family(const std::string& family) {
+  for (const FigureFamily& f : figure_families())
+    if (f.family == family) return &f;
+  return nullptr;
+}
+
+namespace {
+
+// Quotes a .dat token when it contains whitespace (gnuplot honours double
+// quotes in data files, including columnheader()).
+std::string dat_token(const std::string& cell) {
+  if (cell.empty()) return "NaN";
+  if (cell.find_first_of(" \t\"") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') quoted += '\\';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string render_dat(const Table& wide, const Figure& fig) {
+  std::ostringstream os;
+  os << "# wsf-plot: " << fig.family << " — " << fig.measure << " vs "
+     << fig.x << "\n";
+  os << "# " << fig.series.size() << " series, " << fig.points
+     << " points; missing cells are NaN\n";
+  os << dat_token(fig.x);
+  for (const std::string& s : fig.series) os << ' ' << dat_token(s);
+  os << '\n';
+  for (std::size_t r = 0; r < wide.num_rows(); ++r) {
+    for (std::size_t c = 0; c < wide.headers().size(); ++c) {
+      if (c) os << ' ';
+      os << dat_token(wide.cell(r, c));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_gp(const Figure& fig, const std::string& title) {
+  std::ostringstream os;
+  os << "# gnuplot script regenerated by wsf-plot — run: gnuplot "
+     << fig.family << ".gp\n";
+  os << "set terminal pngcairo size 960,640\n";
+  os << "set output '" << fig.family << ".png'\n";
+  os << "set title \"" << title << "\"\n";
+  os << "set xlabel \"" << fig.x << "\"\n";
+  os << "set ylabel \"" << fig.measure << "\"\n";
+  os << "set key outside right top\n";
+  os << "set grid\n";
+  os << "set datafile missing 'NaN'\n";
+  os << "plot for [i=2:" << fig.series.size() + 1 << "] '" << fig.family
+     << ".dat' using 1:i with linespoints lw 2 pt 7 title "
+     << "columnheader(i)\n";
+  return os.str();
+}
+
+std::string render_ascii(const Table& wide, const Figure& fig,
+                         const std::string& title) {
+  constexpr std::size_t kWidth = 64;
+  constexpr std::size_t kHeight = 16;
+  const std::size_t n_series = fig.series.size();
+
+  // Collect the points of every series; a non-numeric x falls back to the
+  // row's ordinal position so categorical axes still preview.
+  struct Point {
+    double x, y;
+    std::size_t series;
+  };
+  std::vector<Point> points;
+  for (std::size_t r = 0; r < wide.num_rows(); ++r) {
+    double x = 0.0;
+    if (!support::cell_to_number(wide.cell(r, 0), &x) ||
+        !std::isfinite(x))
+      x = static_cast<double>(r);
+    for (std::size_t s = 0; s < n_series; ++s) {
+      double y = 0.0;
+      // Non-finite cells (an overflowing literal parses to inf) would
+      // poison the scale and make the grid-coordinate cast UB; skip them
+      // like missing cells.
+      if (support::cell_to_number(wide.cell(r, 1 + s), &y) &&
+          std::isfinite(y))
+        points.push_back({x, y, s});
+    }
+  }
+  if (points.empty()) return title + "\n  (no finite data points)\n";
+
+  double xmin = points.front().x, xmax = points.front().x;
+  double ymin = points.front().y, ymax = points.front().y;
+  for (const Point& p : points) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+  for (const Point& p : points) {
+    const auto col = static_cast<std::size_t>(
+        (p.x - xmin) / (xmax - xmin) * (kWidth - 1) + 0.5);
+    const auto row = static_cast<std::size_t>(
+        (p.y - ymin) / (ymax - ymin) * (kHeight - 1) + 0.5);
+    char& cell = grid[kHeight - 1 - row][col];
+    const char symbol =
+        static_cast<char>('A' + static_cast<char>(p.series % 26));
+    cell = (cell == ' ' || cell == symbol) ? symbol : '*';
+  }
+
+  const std::string ymin_label = support::format_double(ymin);
+  const std::string ymax_label = support::format_double(ymax);
+  const std::size_t gutter = std::max(ymin_label.size(), ymax_label.size());
+  std::ostringstream os;
+  os << title << "\n";
+  for (std::size_t r = 0; r < kHeight; ++r) {
+    std::string label;
+    if (r == 0) label = ymax_label;
+    if (r == kHeight - 1) label = ymin_label;
+    os << std::string(gutter - label.size(), ' ') << label << " |"
+       << grid[r] << "\n";
+  }
+  os << std::string(gutter + 1, ' ') << '+' << std::string(kWidth, '-')
+     << "\n";
+  const std::string xmin_label = support::format_double(xmin);
+  const std::string xmax_label = support::format_double(xmax);
+  os << std::string(gutter + 2, ' ') << xmin_label;
+  if (xmax_label.size() + xmin_label.size() < kWidth)
+    os << std::string(kWidth - xmin_label.size() - xmax_label.size(), ' ')
+       << xmax_label;
+  os << "  (" << fig.x << ")\n";
+  for (std::size_t s = 0; s < n_series; ++s)
+    os << "  " << static_cast<char>('A' + static_cast<char>(s % 26))
+       << " = " << fig.series[s] << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+Figure render_figure(const Table& sweep, const std::string& family,
+                     const FigureOptions& opts) {
+  const FigureFamily* registered = find_figure_family(family);
+  const FigureFamily defaults =
+      registered ? *registered
+                 : FigureFamily{family, family + " (unregistered family)",
+                                "procs", "mean_additional_misses"};
+  Figure fig;
+  fig.family = family;
+  fig.x = opts.x.empty() ? defaults.x : opts.x;
+  const std::string measure =
+      opts.measure.empty() ? defaults.measure : opts.measure;
+
+  WSF_REQUIRE(sweep.has_column("family"),
+              "sweep input has no 'family' column — is this wsf-sweep "
+              "output?");
+  Table rows = filter_eq(sweep, "family", family);
+  WSF_REQUIRE(rows.num_rows() > 0,
+              "no sweep rows for family '" << family
+                                           << "' — was it in the grid?");
+  WSF_REQUIRE(rows.has_column(fig.x),
+              "x-axis column '" << fig.x << "' is not in the sweep output");
+  WSF_REQUIRE(rows.has_column(measure),
+              "measure column '" << measure
+                                 << "' is not in the sweep output");
+
+  fig.measure = measure;
+  if (opts.normalize) {
+    WSF_REQUIRE(rows.has_column("mean_seq_misses"),
+                "--normalize needs the mean_seq_misses baseline column");
+    fig.measure = measure + "_over_seq";
+    rows = with_ratio(rows, fig.measure, measure, "mean_seq_misses");
+    // Rows without a baseline (C=0 configs simulate no cache, so their
+    // sequential miss count is 0) have no normalized value; drop them
+    // rather than emitting NaN-only series.
+    const std::string& ratio_col = fig.measure;
+    rows = filter(rows, [&ratio_col](const RowView& r) {
+      return !r.get(ratio_col).empty();
+    });
+    WSF_REQUIRE(rows.num_rows() > 0,
+                "figure '" << family << "': no rows have a sequential-miss "
+                           << "baseline to normalize by (all cache_lines=0?)");
+  }
+
+  // Series: the axes that actually vary within this family's rows.
+  std::vector<std::string> series_cols = opts.series_columns;
+  if (series_cols.empty()) {
+    for (const char* cand : {"policy", "touch_enable", "cache_lines",
+                             "size", "size2", "run"})
+      if (std::string(cand) != fig.x && rows.has_column(cand) &&
+          distinct(rows, cand).size() > 1)
+        series_cols.push_back(cand);
+  }
+  const std::string fallback_label = fig.measure;
+  rows = with_column(rows, "__series",
+                     [&series_cols, &fallback_label](const RowView& r) {
+    if (series_cols.empty()) return fallback_label;
+    std::string label;
+    for (const std::string& col : series_cols) {
+      std::string part;
+      if (col == "policy" || col == "touch_enable" || col == "run")
+        part = r.get(col);
+      else if (col == "cache_lines")
+        part = "C=" + r.get(col);
+      else
+        part = col + "=" + r.get(col);
+      label += (label.empty() ? "" : " ") + part;
+    }
+    return label;
+  });
+
+  Table wide = sort_by(pivot(rows, {fig.x}, "__series", fig.measure),
+                       {fig.x});
+  fig.points = wide.num_rows();
+  fig.series.assign(wide.headers().begin() + 1, wide.headers().end());
+
+  // A series with no finite value means the data path silently broke
+  // (wrong column, all-missing cells); fail the figure, not just the plot.
+  bool any_point = false;
+  for (std::size_t s = 0; s < fig.series.size(); ++s) {
+    std::size_t finite = 0;
+    for (std::size_t r = 0; r < wide.num_rows(); ++r) {
+      double v = 0.0;
+      if (support::cell_to_number(wide.cell(r, 1 + s), &v) &&
+          std::isfinite(v))
+        ++finite;
+    }
+    WSF_REQUIRE(finite > 0, "figure '" << family << "': series '"
+                                       << fig.series[s]
+                                       << "' is empty or NaN-only");
+    any_point = true;
+  }
+  WSF_REQUIRE(any_point && fig.points > 0,
+              "figure '" << family << "' has no data points");
+
+  const std::string title = defaults.title;
+  fig.dat = render_dat(wide, fig);
+  fig.gp = render_gp(fig, title);
+  fig.ascii = render_ascii(wide, fig, title);
+  return fig;
+}
+
+}  // namespace wsf::exp::analysis

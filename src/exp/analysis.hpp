@@ -1,0 +1,183 @@
+// Relational analysis over sweep tables and paper-figure regeneration.
+//
+// Everything here is a pure function from support::Table to support::Table
+// (or to rendered figure text), so the same pipeline composes over a
+// single-run sweep CSV, a resumed checkpoint, the merge of shard
+// checkpoints, or an in-memory to_table() result: load_sweep() normalizes
+// any of those into sweep rows, the relational ops (select / filter /
+// group_by / pivot / derived columns) reshape them, and render_figure()
+// turns one graph family's rows into a gnuplot-ready .dat/.gp pair plus a
+// self-contained ASCII preview — the paper's cache-miss and deviation
+// curves regenerated from raw rows. The wsf-plot CLI (tools/wsf_plot.cpp)
+// is a thin I/O wrapper over this header.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace wsf::exp::analysis {
+
+/// Read-only view of one table row, handed to predicates and
+/// derived-column functions.
+class RowView {
+ public:
+  RowView(const support::Table& table, std::size_t row)
+      : table_(&table), row_(row) {}
+
+  /// The cell under the named column ("" when the row is short).
+  const std::string& get(const std::string& column) const {
+    return table_->cell(row_, table_->column_index(column));
+  }
+  /// The cell as a double: NaN when missing, CheckError when non-numeric.
+  double num(const std::string& column) const {
+    return table_->number(row_, table_->column_index(column));
+  }
+  std::size_t index() const { return row_; }
+
+ private:
+  const support::Table* table_;
+  std::size_t row_;
+};
+
+/// Projection: the named columns, in the given order (columns may repeat).
+support::Table select(const support::Table& t,
+                      const std::vector<std::string>& columns);
+
+/// Rows for which the predicate holds, in order.
+support::Table filter(const support::Table& t,
+                      const std::function<bool(const RowView&)>& pred);
+
+/// Rows whose `column` cell equals `value` exactly.
+support::Table filter_eq(const support::Table& t, const std::string& column,
+                         const std::string& value);
+
+/// Aggregations group_by can compute over a numeric column. Missing
+/// (empty) cells are skipped; a group whose cells are all missing yields a
+/// missing cell. Stderr is stddev/sqrt(n), missing below two samples —
+/// the same convention as exp::stderr_of.
+enum class Agg { Mean, Stderr, Min, Max, Count, Sum };
+
+struct AggSpec {
+  std::string column;
+  Agg agg = Agg::Mean;
+  /// Output column name; empty derives "<agg>_<column>" (e.g.
+  /// "mean_steals").
+  std::string as;
+};
+
+/// SQL-style group-by: one output row per distinct key tuple (in first-
+/// appearance order — deterministic), key columns first, then one column
+/// per aggregate.
+support::Table group_by(const support::Table& t,
+                        const std::vector<std::string>& keys,
+                        const std::vector<AggSpec>& aggs);
+
+/// Long→wide reshape: rows sharing a `row_keys` tuple collapse into one
+/// output row; each distinct `column_key` value becomes its own column (in
+/// first-appearance order) holding that row's `value_column` cell.
+/// Combinations never seen stay missing; a (row_keys, column_key) pair
+/// seen twice is an error — aggregate first if that can happen.
+support::Table pivot(const support::Table& t,
+                     const std::vector<std::string>& row_keys,
+                     const std::string& column_key,
+                     const std::string& value_column);
+
+/// Appends a derived column computed per row.
+support::Table with_column(const support::Table& t, const std::string& name,
+                           const std::function<std::string(const RowView&)>& fn);
+
+/// Appends `name` = numerator / denominator per row, format_double-
+/// rendered; missing when either side is missing or the denominator is 0.
+/// The paper's derived measures are ratios of sweep columns — e.g.
+/// miss-ratio-vs-sequential-baseline
+///   with_ratio(t, "miss_ratio", "mean_additional_misses",
+///              "mean_seq_misses")
+/// or speedup of a measure between two pivoted policy columns.
+support::Table with_ratio(const support::Table& t, const std::string& name,
+                          const std::string& numerator,
+                          const std::string& denominator);
+
+/// Appends a constant column (used to tag rows with their run before
+/// concatenating two sweeps for a --compare overlay).
+support::Table with_constant(const support::Table& t, const std::string& name,
+                             const std::string& value);
+
+/// Stable sort by the listed columns, leftmost major. Two cells that both
+/// parse as numbers compare numerically; otherwise lexicographically;
+/// missing cells sort first.
+support::Table sort_by(const support::Table& t,
+                       const std::vector<std::string>& columns);
+
+/// Distinct values of one column, in first-appearance order.
+std::vector<std::string> distinct(const support::Table& t,
+                                  const std::string& column);
+
+/// Vertical concatenation; headers must agree exactly.
+support::Table concat(const support::Table& a, const support::Table& b);
+
+/// Normalizes any sweep output format into plain sweep rows:
+///   - a sweep CSV (wsf-sweep --format=csv, or merge_checkpoints output),
+///   - a checkpoint file (signature line recognized and dropped, rows
+///     reordered by config_index, the config_index / wall_ms bookkeeping
+///     columns stripped — a torn final line is dropped, as on resume),
+///   - a sweep JSON array (wsf-sweep --format=json).
+/// A two-shard merged run therefore loads byte-for-byte identically to a
+/// single run, which render_figure preserves.
+support::Table load_sweep(const std::string& text);
+
+/// One paper figure family the regeneration pipeline knows: which graph
+/// family's rows it draws, what the paper plots on each axis, and a title.
+struct FigureFamily {
+  std::string family;   // the sweep "family" column value (registry name)
+  std::string title;    // what the paper's figure shows
+  std::string x = "procs";
+  std::string measure = "mean_additional_misses";
+};
+
+/// Every registered figure family (the paper's fig2–fig8 constructions,
+/// the chain/ablation/forkjoin/pipeline families, and the random DAGs):
+/// one entry per graphs::registry_names() name.
+const std::vector<FigureFamily>& figure_families();
+
+/// The registered entry for one family name; nullptr when unknown.
+const FigureFamily* find_figure_family(const std::string& family);
+
+struct FigureOptions {
+  /// Measure (y) column; empty uses the family default.
+  std::string measure;
+  /// X-axis column; empty uses the family default ("procs").
+  std::string x;
+  /// Divide the measure by the sequential-baseline column
+  /// (mean_seq_misses), the paper's relative-overhead presentation.
+  bool normalize = false;
+  /// Columns whose distinct values split the rows into series. Empty
+  /// auto-selects, in this order, those of {policy, touch_enable,
+  /// cache_lines, size, size2, run} that exist and vary within the family.
+  std::vector<std::string> series_columns;
+};
+
+/// One regenerated figure: gnuplot data + script + ASCII preview.
+struct Figure {
+  std::string family;
+  std::string measure;     // resolved y-axis column (after --normalize)
+  std::string x;           // resolved x-axis column
+  std::string dat;         // whitespace .dat: x, then one column per series
+  std::string gp;          // gnuplot script plotting <family>.dat
+  std::string ascii;       // self-contained ASCII chart with legend
+  std::vector<std::string> series;  // series labels, .dat column order
+  std::size_t points = 0;           // rows in the .dat body
+};
+
+/// Regenerates one family's figure from sweep rows. Pure: identical input
+/// tables give byte-identical .dat/.gp/ascii. Throws wsf::CheckError when
+/// the family has no rows, the x/measure columns are absent, or any series
+/// ends up empty or NaN-only — so a silently-broken data path fails a CI
+/// job instead of uploading an empty plot.
+Figure render_figure(const support::Table& sweep, const std::string& family,
+                     const FigureOptions& opts = {});
+
+}  // namespace wsf::exp::analysis

@@ -1,11 +1,13 @@
 #include "exp/checkpoint.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,7 +20,7 @@ namespace wsf::exp {
 
 namespace {
 
-constexpr const char* kSignaturePrefix = "# wsf-sweep-checkpoint ";
+constexpr const char* kSignaturePrefix = kCheckpointSignaturePrefix;
 
 std::size_t parse_config_index(const std::string& cell) {
   WSF_REQUIRE(!cell.empty() &&
@@ -76,7 +78,7 @@ std::string slurp(const std::string& path) {
 }  // namespace
 
 std::vector<std::string> checkpoint_headers() {
-  std::vector<std::string> headers{"config_index"};
+  std::vector<std::string> headers{"config_index", "wall_ms"};
   const std::vector<std::string> table = sweep_table_headers();
   headers.insert(headers.end(), table.begin(), table.end());
   return headers;
@@ -193,10 +195,13 @@ support::Table merge_checkpoints(const std::vector<Checkpoint>& shards) {
                   << expected
                   << " configs present (did every shard finish?)");
 
+  // Strip the bookkeeping columns (config_index, wall_ms): the merged
+  // table must be byte-identical to an unsharded run's, and wall times are
+  // machine-dependent.
   support::Table merged(
-      std::vector<std::string>(headers.begin() + 1, headers.end()));
+      std::vector<std::string>(headers.begin() + 2, headers.end()));
   for (const auto& [index, cells] : by_index)
-    merged.add_row(std::vector<std::string>(cells->begin() + 1,
+    merged.add_row(std::vector<std::string>(cells->begin() + 2,
                                             cells->end()));
   return merged;
 }
@@ -254,6 +259,12 @@ support::Table run_sweep_table(const SweepSpec& spec,
                       << opts.shard.index << "/" << opts.shard.count);
       check_row_matches_config(ckpt_headers, cells, configs[index],
                                spec.seeds, index);
+      WSF_REQUIRE(!cells[1].empty() &&
+                      cells[1].find_first_not_of("0123456789") ==
+                          std::string::npos,
+                  "checkpoint row for config " << index
+                                               << " has a bad wall_ms cell '"
+                                               << cells[1] << "'");
       std::vector<std::string> row(cells.begin() + 1, cells.end());
       WSF_REQUIRE(restored.emplace(index, std::move(row)).second,
                   "checkpoint lists config " << index << " twice");
@@ -298,6 +309,20 @@ support::Table run_sweep_table(const SweepSpec& spec,
     }
   }
 
+  // Heartbeat bookkeeping: how many configurations this shard owns, how
+  // many are already done (restored), and when execution started — enough
+  // for a done/total + ETA line per finished configuration.
+  std::size_t owned = 0;
+  for (std::size_t i = opts.shard.index; i < configs.size();
+       i += opts.shard.count)
+    ++owned;
+  std::size_t done = restored.size();
+  std::size_t executed = 0;
+  const auto progress_start = std::chrono::steady_clock::now();
+  if (opts.progress && !restored.empty())
+    *opts.progress << "wsf-sweep: resumed " << restored.size() << "/"
+                   << owned << " configs from checkpoint\n";
+
   SweepRunOptions run_opts;
   run_opts.threads = opts.threads;
   run_opts.shard = opts.shard;
@@ -314,12 +339,36 @@ support::Table run_sweep_table(const SweepSpec& spec,
       std::vector<std::string> cells;
       cells.reserve(ckpt_headers.size());
       cells.push_back(std::to_string(index));
+      cells.push_back(std::to_string(row.wall_ms));
       cells.insert(cells.end(), it->second.begin(), it->second.end());
       ckpt_out << support::csv_line(cells);
       ckpt_out.flush();
       WSF_REQUIRE(ckpt_out.good(), "checkpoint append to '"
                                        << opts.checkpoint_path
                                        << "' failed");
+    }
+    if (opts.progress) {
+      ++done;
+      ++executed;
+      const double elapsed_s =
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              std::chrono::steady_clock::now() - progress_start)
+              .count();
+      const std::size_t remaining = owned - done;
+      const double eta_s =
+          executed ? elapsed_s / static_cast<double>(executed) *
+                         static_cast<double>(remaining)
+                   : 0.0;
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "wsf-sweep: %zu/%zu configs (%.1f%%), elapsed %.1fs, "
+                    "ETA %.1fs\n",
+                    done, owned,
+                    100.0 * static_cast<double>(done) /
+                        static_cast<double>(owned ? owned : 1),
+                    elapsed_s, eta_s);
+      *opts.progress << line;
+      opts.progress->flush();
     }
     if (opts.on_row) opts.on_row(index, row);
   };
@@ -330,7 +379,9 @@ support::Table run_sweep_table(const SweepSpec& spec,
        i += opts.shard.count) {
     const auto restored_it = restored.find(i);
     if (restored_it != restored.end()) {
-      table.add_row(restored_it->second);
+      // Drop the leading wall_ms bookkeeping cell (see checkpoint_headers).
+      table.add_row(std::vector<std::string>(restored_it->second.begin() + 1,
+                                             restored_it->second.end()));
       continue;
     }
     const auto rendered_it = rendered.find(i);

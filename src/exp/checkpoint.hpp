@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,13 @@
 #include "support/table.hpp"
 
 namespace wsf::exp {
+
+/// First bytes of every checkpoint file: the signature-line prefix. One
+/// definition shared by the writer (run_sweep_table), the loader, and the
+/// format sniffing in analysis::load_sweep / wsf-plot, so the formats
+/// cannot drift apart silently.
+inline constexpr const char* kCheckpointSignaturePrefix =
+    "# wsf-sweep-checkpoint ";
 
 /// Execution knobs for run_sweep_table.
 struct SweepTableOptions {
@@ -31,10 +39,19 @@ struct SweepTableOptions {
   /// Progress hook, called (serialized) after each configuration finishes
   /// and its checkpoint row is durable.
   std::function<void(std::size_t config_index, const SweepRow& row)> on_row;
+  /// When set, a heartbeat line — "done/total configs, percent, elapsed,
+  /// ETA" — is written here (serialized with on_row) after each finished
+  /// configuration, plus one line up front for configurations restored
+  /// from a checkpoint. The wsf-sweep --progress flag points this at
+  /// stderr.
+  std::ostream* progress = nullptr;
 };
 
-/// The checkpoint CSV header: "config_index" followed by
-/// sweep_table_headers().
+/// The checkpoint CSV header: "config_index" and "wall_ms" bookkeeping
+/// columns followed by sweep_table_headers(). wall_ms (per-configuration
+/// wall time on the worker that ran it) survives resume verbatim but is
+/// stripped — like config_index — from merged/final tables, whose bytes
+/// must not depend on machine speed.
 std::vector<std::string> checkpoint_headers();
 
 /// Canonical one-line digest of every spec field that affects sweep

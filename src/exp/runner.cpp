@@ -8,7 +8,9 @@
 // the configs with index % n == k, and SweepRunOptions::skip drops configs
 // a checkpoint already holds.
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -66,9 +68,14 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
       const std::size_t i = jobs[j];
       try {
         const SweepConfig& cfg = configs[i];
+        const auto t0 = std::chrono::steady_clock::now();
         result.rows[i].cell =
             run_replicates(graphs[cfg.graph_index].graph, cfg.options,
                            spec.seed_base, spec.seeds);
+        result.rows[i].wall_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
         if (opts.on_row) {
           const std::lock_guard<std::mutex> lock(row_mutex);
           opts.on_row(i, result.rows[i]);

@@ -15,6 +15,23 @@
 
 namespace wsf::exp {
 
+SweepSpec smoke_spec() {
+  SweepSpec spec;
+  graphs::RegistryParams params;
+  params.size = 4;
+  params.size2 = 3;
+  for (const char* family : {"fig2", "fig4"})
+    spec.graphs.push_back({family, params, {}});
+  spec.procs = {1, 2, 4, 8, 16};
+  spec.policies = {core::ForkPolicy::FutureFirst,
+                   core::ForkPolicy::ParentFirst};
+  spec.touch_enables = {sched::TouchEnable::TouchFirst,
+                        sched::TouchEnable::ContinuationFirst};
+  spec.cache_lines = {0, 4, 8};
+  spec.seeds = 2;
+  return spec;
+}
+
 std::vector<GraphAxis> flatten_graph_axes(const SweepSpec& spec) {
   std::vector<GraphAxis> flat;
   for (const GraphAxis& axis : spec.graphs) {

@@ -93,6 +93,12 @@ struct SweepCell {
 struct SweepRow {
   SweepConfig config;
   SweepCell cell;
+  /// Wall-clock milliseconds this configuration's replicates took on the
+  /// worker that ran them. Bookkeeping, not a measurement: it goes into
+  /// checkpoint rows (so long grids can be cost-profiled and re-sharded)
+  /// but never into the sweep result table, whose bytes must not depend
+  /// on machine speed.
+  std::uint64_t wall_ms = 0;
 };
 
 struct SweepResult {
@@ -100,6 +106,12 @@ struct SweepResult {
   std::uint64_t seeds = 0;
   std::uint64_t seed_base = 1;
 };
+
+/// The fast deterministic CI grid behind `wsf-sweep --smoke`: tiny
+/// fig2/fig4 graphs, full P × policy × touch × cache axes, 2 seeds. One
+/// definition shared by the CLI and the golden-file test, so the checked-in
+/// golden CSV is byte-exact against what CI runs.
+SweepSpec smoke_spec();
 
 /// Expands the spec into its configuration list (no graphs generated, no
 /// simulation). Order: graphs (each axis expanded over its size list) ×

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -93,6 +95,41 @@ Table& Table::add_row(std::vector<std::string> cells) {
                          << headers_.size() << " columns");
   rows_.push_back(std::move(cells));
   return *this;
+}
+
+std::size_t Table::column_index(const std::string& name) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    if (headers_[c] == name) return c;
+  std::string all;
+  for (const auto& h : headers_) all += (all.empty() ? "" : ", ") + h;
+  WSF_REQUIRE(false, "no column '" << name << "' (columns: " << all << ")");
+  return 0;  // unreachable
+}
+
+bool Table::has_column(const std::string& name) const {
+  for (const auto& h : headers_)
+    if (h == name) return true;
+  return false;
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  WSF_REQUIRE(row < rows_.size(), "row " << row << " out of range ("
+                                         << rows_.size() << " rows)");
+  WSF_REQUIRE(col < headers_.size(), "column " << col << " out of range ("
+                                               << headers_.size()
+                                               << " columns)");
+  static const std::string kMissing;
+  return col < rows_[row].size() ? rows_[row][col] : kMissing;
+}
+
+double Table::number(std::size_t row, std::size_t col) const {
+  const std::string& c = cell(row, col);
+  if (c.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double v = 0.0;
+  WSF_REQUIRE(cell_to_number(c, &v),
+              "cell '" << c << "' in column '" << headers_[col]
+                       << "' is not a number");
+  return v;
 }
 
 namespace {
@@ -263,6 +300,15 @@ void append_json_string(std::ostringstream& os, const std::string& s) {
 
 }  // namespace
 
+bool cell_to_number(const std::string& cell, double* out) {
+  if (!is_json_number(cell)) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  *out = v;
+  return true;
+}
+
 std::string Table::to_json() const {
   std::ostringstream os;
   os << "[\n";
@@ -285,6 +331,173 @@ std::string Table::to_json() const {
   }
   os << "]\n";
   return os.str();
+}
+
+namespace {
+
+// Minimal JSON reader for the array-of-flat-objects shape to_json emits.
+// Values are captured as table cells: strings unescaped, numbers kept as
+// their literal spelling (so numeric formatting round-trips exactly),
+// null as the missing cell, booleans as "true"/"false".
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (i_ < text_.size() &&
+           (text_[i_] == ' ' || text_[i_] == '\t' || text_[i_] == '\n' ||
+            text_[i_] == '\r'))
+      ++i_;
+  }
+
+  bool eat(char ch) {
+    skip_ws();
+    if (i_ < text_.size() && text_[i_] == ch) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char ch) {
+    WSF_REQUIRE(eat(ch), "JSON: expected '" << ch << "' at offset " << i_);
+  }
+
+  bool at_end() {
+    skip_ws();
+    return i_ >= text_.size();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      WSF_REQUIRE(i_ < text_.size(), "JSON: unterminated string");
+      const char ch = text_[i_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      WSF_REQUIRE(i_ < text_.size(), "JSON: unterminated escape");
+      const char esc = text_[i_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          WSF_REQUIRE(i_ + 4 <= text_.size(), "JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              WSF_REQUIRE(false, "JSON: bad \\u escape digit '" << h << "'");
+          }
+          // to_json only escapes control characters (< 0x20); encode the
+          // general case as UTF-8 anyway so foreign files parse.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          WSF_REQUIRE(false, "JSON: unknown escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  // A scalar value rendered as a table cell.
+  std::string parse_value() {
+    skip_ws();
+    WSF_REQUIRE(i_ < text_.size(), "JSON: value expected");
+    const char ch = text_[i_];
+    if (ch == '"') return parse_string();
+    if (eat_word("null")) return std::string();
+    if (eat_word("true")) return "true";
+    if (eat_word("false")) return "false";
+    // Number: capture the literal token text verbatim.
+    const std::size_t begin = i_;
+    if (i_ < text_.size() && (text_[i_] == '-' || text_[i_] == '+')) ++i_;
+    while (i_ < text_.size() &&
+           ((text_[i_] >= '0' && text_[i_] <= '9') || text_[i_] == '.' ||
+            text_[i_] == 'e' || text_[i_] == 'E' || text_[i_] == '+' ||
+            text_[i_] == '-'))
+      ++i_;
+    const std::string token = text_.substr(begin, i_ - begin);
+    double ignored = 0.0;
+    WSF_REQUIRE(cell_to_number(token, &ignored),
+                "JSON: expected a value at offset " << begin);
+    return token;
+  }
+
+ private:
+  bool eat_word(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(i_, len, word) != 0) return false;
+    i_ += len;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+Table Table::from_json(const std::string& json) {
+  JsonReader reader(json);
+  reader.expect('[');
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+  if (!reader.eat(']')) {
+    do {
+      reader.expect('{');
+      std::vector<std::string> keys;
+      std::vector<std::string> cells;
+      if (!reader.eat('}')) {
+        do {
+          keys.push_back(reader.parse_string());
+          reader.expect(':');
+          cells.push_back(reader.parse_value());
+        } while (reader.eat(','));
+        reader.expect('}');
+      }
+      if (rows.empty() && headers.empty()) {
+        headers = keys;
+      } else {
+        WSF_REQUIRE(keys == headers,
+                    "JSON: row " << rows.size() + 1 << " keys differ from "
+                                 << "the first row's");
+      }
+      rows.push_back(std::move(cells));
+    } while (reader.eat(','));
+    reader.expect(']');
+  }
+  WSF_REQUIRE(reader.at_end(), "JSON: trailing content after the array");
+  WSF_REQUIRE(!headers.empty(),
+              "JSON: no rows (a table cannot recover its columns from an "
+              "empty array)");
+  Table table(std::move(headers));
+  for (auto& cells : rows) table.rows_.push_back(std::move(cells));
+  return table;
 }
 
 void Table::print(const std::string& title) const {

@@ -42,6 +42,22 @@ class Table {
   const std::vector<std::string>& headers() const { return headers_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
+  /// Index of the named column (first match). Throws wsf::CheckError when
+  /// the column does not exist — callers that want optional columns should
+  /// test has_column() first.
+  std::size_t column_index(const std::string& name) const;
+  bool has_column(const std::string& name) const;
+
+  /// The cell at (row, col). Trailing cells a short row never stored read
+  /// as the empty (missing) cell, exactly as every renderer treats them.
+  /// Throws on an out-of-range row or column.
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// The cell parsed as a double: NaN for a missing/empty cell, the value
+  /// for a fully-numeric cell, and wsf::CheckError for anything else (a
+  /// policy name in a column an analysis op tried to aggregate, say).
+  double number(std::size_t row, std::size_t col) const;
+
   /// Renders the aligned table (with a separator under the header).
   std::string to_string() const;
   /// Renders RFC-4180 CSV: cells containing commas, quotes, or newlines are
@@ -59,6 +75,13 @@ class Table {
   /// Cells that are plain decimal numbers are emitted unquoted, missing
   /// cells as null; everything else becomes an escaped JSON string.
   std::string to_json() const;
+  /// Parses to_json() output (an array of flat objects whose values are
+  /// strings, numbers, booleans, or null) back into a Table. Column order
+  /// is the first object's key order and every object must repeat it;
+  /// numeric values keep their literal spelling, so
+  /// from_json(to_json(t)).to_json() == t.to_json(). null becomes the
+  /// missing (empty) cell. Throws wsf::CheckError on malformed input.
+  static Table from_json(const std::string& json);
 
   /// Convenience: print to stdout with a title line.
   void print(const std::string& title) const;
@@ -80,5 +103,11 @@ std::string csv_field(const std::string& cell);
 /// One CSV record from pre-rendered cells, csv_field-encoded and
 /// newline-terminated.
 std::string csv_line(const std::vector<std::string>& cells);
+
+/// Parses a cell as a double if it is fully numeric (optional sign,
+/// digits, optional fraction/exponent — the grammar to_json treats as a
+/// number). Returns false for empty or non-numeric cells, leaving *out
+/// unchanged.
+bool cell_to_number(const std::string& cell, double* out);
 
 }  // namespace wsf::support

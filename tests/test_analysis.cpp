@@ -1,0 +1,377 @@
+// Analysis layer: relational ops over Table (select / filter / group_by /
+// pivot / derived columns / sort), the sweep loader's format normalization,
+// and figure regeneration — including the acceptance property that every
+// registered figure family renders byte-identically from a single-run CSV
+// and a merged two-shard checkpoint pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/analysis.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/sweep.hpp"
+#include "graphs/registry.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace wsf {
+namespace {
+
+namespace an = exp::analysis;
+using support::Table;
+
+Table sample() {
+  Table t({"family", "procs", "policy", "misses", "seq"});
+  t.row().add("fig2").add(1).add("ff").add(3.0).add(2.0);
+  t.row().add("fig2").add(2).add("ff").add(5.0).add(2.0);
+  t.row().add("fig2").add(1).add("pf").add(4.0).add(2.0);
+  t.row().add("fig2").add(2).add("pf").add(8.0).add(2.0);
+  t.row().add("fig4").add(1).add("ff").add(1.0).add(0.0);
+  return t;
+}
+
+TEST(Select, ProjectsAndReordersColumns) {
+  const Table out = an::select(sample(), {"procs", "family"});
+  ASSERT_EQ(out.headers(), (std::vector<std::string>{"procs", "family"}));
+  ASSERT_EQ(out.num_rows(), 5u);
+  EXPECT_EQ(out.cell(0, 0), "1");
+  EXPECT_EQ(out.cell(0, 1), "fig2");
+  EXPECT_THROW(an::select(sample(), {"no-such"}), CheckError);
+}
+
+TEST(Filter, KeepsMatchingRowsInOrder) {
+  const Table out = an::filter(sample(), [](const an::RowView& r) {
+    return r.num("misses") > 3.5;
+  });
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.cell(0, 3), "5");
+  const Table eq = an::filter_eq(sample(), "policy", "pf");
+  ASSERT_EQ(eq.num_rows(), 2u);
+  EXPECT_EQ(eq.cell(1, 3), "8");
+}
+
+TEST(RowView, MissingAndNonNumericCells) {
+  Table t({"a", "b"});
+  t.row().add("x");  // short row: b missing
+  const an::RowView r(t, 0);
+  EXPECT_EQ(r.get("b"), "");
+  EXPECT_TRUE(std::isnan(r.num("b")));
+  EXPECT_THROW(r.num("a"), CheckError);  // "x" is not a number
+}
+
+TEST(GroupBy, AggregatesMatchAccumulator) {
+  const Table g = an::group_by(
+      sample(), {"policy"},
+      {{"misses", an::Agg::Mean, ""},
+       {"misses", an::Agg::Stderr, ""},
+       {"misses", an::Agg::Min, ""},
+       {"misses", an::Agg::Max, "peak"},
+       {"misses", an::Agg::Count, ""},
+       {"misses", an::Agg::Sum, ""}});
+  ASSERT_EQ(g.headers(),
+            (std::vector<std::string>{"policy", "mean_misses",
+                                      "stderr_misses", "min_misses", "peak",
+                                      "count_misses", "sum_misses"}));
+  // Groups appear in first-appearance order: ff (3 rows), then pf.
+  ASSERT_EQ(g.num_rows(), 2u);
+  EXPECT_EQ(g.cell(0, 0), "ff");
+  EXPECT_DOUBLE_EQ(g.number(0, 1), 3.0);  // mean(3, 5, 1)
+  support::Accumulator acc;
+  for (const double v : {3.0, 5.0, 1.0}) acc.add(v);
+  // Cells are format_double-rendered (4 decimals): compare the rendering.
+  EXPECT_EQ(g.cell(0, 2), support::format_double(exp::stderr_of(acc)));
+  EXPECT_DOUBLE_EQ(g.number(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(g.number(0, 4), 5.0);
+  EXPECT_DOUBLE_EQ(g.number(0, 5), 3.0);
+  EXPECT_DOUBLE_EQ(g.number(0, 6), 9.0);
+  EXPECT_EQ(g.cell(1, 0), "pf");
+  EXPECT_DOUBLE_EQ(g.number(1, 1), 6.0);
+}
+
+TEST(GroupBy, MissingCellsCarryNoSample) {
+  Table t({"k", "v"});
+  t.row().add("a").add(2.0);
+  t.row().add("a").add("");   // missing: skipped
+  t.row().add("b").add("");   // all-missing group
+  const Table g = an::group_by(t, {"k"},
+                               {{"v", an::Agg::Mean, ""},
+                                {"v", an::Agg::Count, ""},
+                                {"v", an::Agg::Stderr, ""}});
+  EXPECT_DOUBLE_EQ(g.number(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.number(0, 2), 1.0);
+  EXPECT_EQ(g.cell(0, 3), "");  // single sample: stderr missing
+  EXPECT_EQ(g.cell(1, 1), "");  // no samples at all: mean missing
+  EXPECT_DOUBLE_EQ(g.number(1, 2), 0.0);
+}
+
+TEST(Pivot, LongToWideAndDuplicateCellIsAnError) {
+  // fig2@P1/ff and fig4@P1/ff share the (procs=1, ff) cell.
+  try {
+    an::pivot(sample(), {"procs"}, "policy", "misses");
+    FAIL() << "pivot accepted a duplicate (row key, column key) pair";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("aggregate"), std::string::npos);
+  }
+  const Table fig2 = an::filter_eq(sample(), "family", "fig2");
+  const Table w = an::pivot(fig2, {"procs"}, "policy", "misses");
+  ASSERT_EQ(w.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(w.number(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(w.number(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(w.number(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(w.number(1, 2), 8.0);
+
+  // A combination never seen stays missing.
+  Table partial({"p", "k", "v"});
+  partial.row().add("1").add("x").add("10");
+  partial.row().add("2").add("y").add("20");
+  const Table pw = an::pivot(partial, {"p"}, "k", "v");
+  EXPECT_EQ(pw.cell(0, 2), "");
+  EXPECT_EQ(pw.cell(1, 1), "");
+}
+
+TEST(DerivedColumns, RatioAndConstant) {
+  const Table r =
+      an::with_ratio(sample(), "ratio", "misses", "seq");
+  EXPECT_EQ(r.headers().back(), "ratio");
+  EXPECT_DOUBLE_EQ(r.number(0, 5), 1.5);
+  EXPECT_DOUBLE_EQ(r.number(1, 5), 2.5);
+  EXPECT_EQ(r.cell(4, 5), "");  // denominator 0: missing, not inf
+
+  const Table c = an::with_constant(sample(), "run", "A");
+  EXPECT_EQ(c.cell(0, 5), "A");
+  EXPECT_EQ(c.cell(4, 5), "A");
+
+  const Table speedup = an::with_column(
+      sample(), "speedup", [](const an::RowView& row) {
+        const double p = row.num("procs");
+        return support::format_double(p * 2.0);
+      });
+  EXPECT_DOUBLE_EQ(speedup.number(1, 5), 4.0);
+}
+
+TEST(SortBy, NumericAwareAndStable) {
+  Table t({"x", "tag"});
+  t.row().add("10").add("a");
+  t.row().add("9").add("b");
+  t.row().add("").add("c");
+  t.row().add("9").add("d");
+  const Table s = an::sort_by(t, {"x"});
+  // Missing first, then numeric order (9 < 10, not lexicographic).
+  EXPECT_EQ(s.cell(0, 1), "c");
+  EXPECT_EQ(s.cell(1, 1), "b");  // stable: b before d
+  EXPECT_EQ(s.cell(2, 1), "d");
+  EXPECT_EQ(s.cell(3, 1), "a");
+}
+
+TEST(DistinctAndConcat, Basics) {
+  EXPECT_EQ(an::distinct(sample(), "policy"),
+            (std::vector<std::string>{"ff", "pf"}));
+  const Table two = an::concat(sample(), sample());
+  EXPECT_EQ(two.num_rows(), 10u);
+  Table other({"different"});
+  EXPECT_THROW(an::concat(sample(), other), CheckError);
+}
+
+TEST(TableAccessors, ColumnIndexAndNumber) {
+  const Table t = sample();
+  EXPECT_EQ(t.column_index("misses"), 3u);
+  EXPECT_TRUE(t.has_column("seq"));
+  EXPECT_FALSE(t.has_column("nope"));
+  EXPECT_THROW(t.column_index("nope"), CheckError);
+  EXPECT_DOUBLE_EQ(t.number(3, 3), 8.0);
+  EXPECT_THROW(t.number(0, 2), CheckError);  // "ff" is not a number
+  double v = 0.0;
+  EXPECT_TRUE(support::cell_to_number("-1.5e2", &v));
+  EXPECT_DOUBLE_EQ(v, -150.0);
+  EXPECT_FALSE(support::cell_to_number("", &v));
+  EXPECT_FALSE(support::cell_to_number("12x", &v));
+  EXPECT_FALSE(support::cell_to_number("nan", &v));
+}
+
+TEST(FromJson, RoundTripsToJsonOutput) {
+  const Table t = sample();
+  const Table back = Table::from_json(t.to_json());
+  EXPECT_EQ(back.headers(), t.headers());
+  EXPECT_EQ(back.rows(), t.rows());
+  // Escapes and null cells survive.
+  Table tricky({"a\"b", "c"});
+  tricky.row().add("line\nbreak").add("");
+  const Table tb = Table::from_json(tricky.to_json());
+  EXPECT_EQ(tb.headers().front(), "a\"b");
+  EXPECT_EQ(tb.cell(0, 0), "line\nbreak");
+  EXPECT_EQ(tb.cell(0, 1), "");
+  EXPECT_THROW(Table::from_json("not json"), CheckError);
+  EXPECT_THROW(Table::from_json("[]"), CheckError);
+  EXPECT_THROW(Table::from_json("[{\"a\": 1}, {\"b\": 2}]"), CheckError);
+}
+
+exp::SweepSpec tiny_spec() {
+  exp::SweepSpec spec;
+  spec.graphs = {{"fig2", {.size = 4}, {}}, {"fig4", {.size = 4}, {}}};
+  spec.procs = {1, 2, 4};
+  spec.policies = {core::ForkPolicy::FutureFirst,
+                   core::ForkPolicy::ParentFirst};
+  spec.cache_lines = {0, 4};
+  spec.seeds = 2;
+  return spec;
+}
+
+TEST(LoadSweep, NormalizesCsvJsonAndCheckpoint) {
+  const Table direct = exp::to_table(exp::run_sweep(tiny_spec(), 2));
+  const Table from_csv = an::load_sweep(direct.to_csv());
+  EXPECT_EQ(from_csv.to_csv(), direct.to_csv());
+  const Table from_json = an::load_sweep(direct.to_json());
+  EXPECT_EQ(from_json.to_csv(), direct.to_csv());
+
+  // A raw checkpoint file: signature + bookkeeping columns stripped, rows
+  // restored to config_index order.
+  const std::string path = ::testing::TempDir() + "analysis_load.ckpt";
+  std::remove(path.c_str());
+  exp::SweepTableOptions opts;
+  opts.threads = 2;
+  opts.checkpoint_path = path;
+  exp::run_sweep_table(tiny_spec(), opts);
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+      text.append(buf, n);
+    std::fclose(f);
+  }
+  const Table from_ckpt = an::load_sweep(text);
+  EXPECT_EQ(from_ckpt.to_csv(), direct.to_csv());
+}
+
+TEST(RenderFigure, FamiliesRegisteredForEveryRegistryName) {
+  for (const std::string& name : graphs::registry_names()) {
+    const an::FigureFamily* fam = an::find_figure_family(name);
+    ASSERT_NE(fam, nullptr) << "no figure family registered for " << name;
+    EXPECT_EQ(fam->family, name);
+    EXPECT_FALSE(fam->title.empty());
+  }
+  EXPECT_EQ(an::find_figure_family("no-such"), nullptr);
+}
+
+TEST(RenderFigure, DatShapeAndSeriesSelection) {
+  const Table sweep = exp::to_table(exp::run_sweep(tiny_spec(), 2));
+  const an::Figure fig = an::render_figure(sweep, "fig2");
+  // Series split on the axes that vary: policy × cache_lines (touch rule
+  // and size are constant in tiny_spec).
+  EXPECT_EQ(fig.series.size(), 4u);
+  EXPECT_EQ(fig.points, 3u);  // P ∈ {1, 2, 4}
+  EXPECT_EQ(fig.x, "procs");
+  EXPECT_NE(fig.dat.find("future-first C=0"), std::string::npos);
+  EXPECT_NE(fig.dat.find("parent-first C=4"), std::string::npos);
+  // The .dat body has one line per x value plus two comment lines and the
+  // header line.
+  std::size_t lines = 0;
+  for (const char ch : fig.dat)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 2 + 1 + fig.points);
+  // The .gp script plots every series from the right file.
+  EXPECT_NE(fig.gp.find("fig2.dat"), std::string::npos);
+  EXPECT_NE(fig.gp.find("for [i=2:5]"), std::string::npos);
+  // The ASCII preview names every series in its legend.
+  for (const std::string& s : fig.series)
+    EXPECT_NE(fig.ascii.find(s), std::string::npos);
+
+  // Unknown family / missing measure fail loudly.
+  EXPECT_THROW(an::render_figure(sweep, "fig8"), CheckError);
+  an::FigureOptions bad;
+  bad.measure = "no_such_column";
+  EXPECT_THROW(an::render_figure(sweep, "fig2", bad), CheckError);
+}
+
+TEST(RenderFigure, NormalizeDropsBaselinelessRows) {
+  const Table sweep = exp::to_table(exp::run_sweep(tiny_spec(), 2));
+  an::FigureOptions opts;
+  opts.normalize = true;
+  const an::Figure fig = an::render_figure(sweep, "fig2", opts);
+  // C=0 rows have no miss baseline, so only the C=4 series survive and
+  // the series split no longer includes cache_lines.
+  EXPECT_EQ(fig.measure, "mean_additional_misses_over_seq");
+  for (const std::string& s : fig.series)
+    EXPECT_EQ(s.find("C="), std::string::npos) << s;
+  EXPECT_EQ(fig.series.size(), 2u);  // the two policies
+}
+
+TEST(RenderFigure, CompareOverlayDoublesTheSeries) {
+  const Table sweep = exp::to_table(exp::run_sweep(tiny_spec(), 2));
+  const Table tagged =
+      an::concat(an::with_constant(sweep, "run", "A"),
+                 an::with_constant(sweep, "run", "B"));
+  const an::Figure fig = an::render_figure(tagged, "fig2");
+  EXPECT_EQ(fig.series.size(), 8u);  // policy × cache × run
+  EXPECT_NE(fig.dat.find("future-first C=0 A"), std::string::npos);
+  EXPECT_NE(fig.dat.find("future-first C=0 B"), std::string::npos);
+}
+
+TEST(RenderFigure, EmptyOrNanOnlySeriesFails) {
+  Table sweep(exp::sweep_table_headers());
+  // One fig2 row whose measure cell is missing: NaN-only series.
+  std::vector<std::string> cells(sweep.headers().size(), "");
+  cells[sweep.column_index("family")] = "fig2";
+  cells[sweep.column_index("procs")] = "1";
+  sweep.add_row(cells);
+  try {
+    an::render_figure(sweep, "fig2");
+    FAIL() << "NaN-only series rendered";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty or NaN-only"),
+              std::string::npos);
+  }
+  EXPECT_THROW(an::render_figure(sweep, "fig4"), CheckError);  // no rows
+}
+
+// The acceptance property: every registered figure family renders
+// byte-identically from (a) the table of one unsharded run and (b) the
+// merge of a two-shard checkpointed run of the same spec.
+TEST(RenderFigure, AllFamiliesIdenticalFromSingleAndMergedRuns) {
+  exp::SweepSpec spec;
+  for (const std::string& name : graphs::registry_names())
+    spec.graphs.push_back({name, {.size = 3, .size2 = 2}, {}});
+  spec.procs = {1, 2};
+  spec.policies = {core::ForkPolicy::FutureFirst,
+                   core::ForkPolicy::ParentFirst};
+  spec.cache_lines = {0, 2};
+  spec.seeds = 1;
+
+  const Table single = exp::to_table(exp::run_sweep(spec, 4));
+
+  std::vector<exp::Checkpoint> shards;
+  for (const std::uint32_t shard : {0u, 1u}) {
+    const std::string path = ::testing::TempDir() + "analysis_shard" +
+                             std::to_string(shard) + ".ckpt";
+    std::remove(path.c_str());
+    exp::SweepTableOptions opts;
+    opts.threads = 4;
+    opts.shard = {shard, 2};
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+    shards.push_back(exp::load_checkpoint(path));
+  }
+  const Table merged = exp::merge_checkpoints(shards);
+  ASSERT_EQ(merged.to_csv(), single.to_csv());
+
+  for (const std::string& name : graphs::registry_names()) {
+    const an::Figure a = an::render_figure(single, name);
+    const an::Figure b = an::render_figure(merged, name);
+    EXPECT_EQ(a.dat, b.dat) << name;
+    EXPECT_EQ(a.gp, b.gp) << name;
+    EXPECT_EQ(a.ascii, b.ascii) << name;
+    EXPECT_GT(a.points, 0u) << name;
+    EXPECT_FALSE(a.series.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wsf

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -467,6 +469,97 @@ TEST(Checkpoint, TornInitialHeaderWriteIsRecoverable) {
   std::string contents;
   std::getline(check, contents);
   EXPECT_EQ(contents, "do not lose me");
+}
+
+TEST(Checkpoint, WallMsColumnSurvivesResumeAndMerge) {
+  const auto spec = small_spec();
+  const std::string path = temp_path("wall.ckpt");
+  // A partial run (the even-indexed half of the grid)…
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.shard = {0, 2};
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  const auto before = exp::load_checkpoint(path);
+  ASSERT_GE(before.table.headers().size(), 2u);
+  EXPECT_EQ(before.table.headers()[0], "config_index");
+  EXPECT_EQ(before.table.headers()[1], "wall_ms");
+  std::map<std::string, std::string> wall_before;
+  for (const auto& row : before.table.rows()) {
+    // wall_ms is a non-negative integer millisecond count.
+    EXPECT_FALSE(row[1].empty());
+    EXPECT_EQ(row[1].find_first_not_of("0123456789"), std::string::npos);
+    wall_before[row[0]] = row[1];
+  }
+  ASSERT_EQ(wall_before.size(), 8u);
+
+  // …then a resume of the full grid: restored rows keep their recorded
+  // wall time verbatim (the resume rewrite must not re-time them).
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  const auto after = exp::load_checkpoint(path);
+  EXPECT_EQ(after.table.num_rows(), 16u);
+  for (const auto& row : after.table.rows()) {
+    const auto it = wall_before.find(row[0]);
+    if (it != wall_before.end()) {
+      EXPECT_EQ(row[1], it->second);
+    }
+  }
+
+  // Merging strips the bookkeeping columns: the final table's bytes do
+  // not depend on machine speed.
+  const auto merged = exp::merge_checkpoints({after});
+  EXPECT_EQ(merged.headers(), exp::sweep_table_headers());
+  EXPECT_EQ(merged.to_csv(), exp::to_table(exp::run_sweep(spec, 2)).to_csv());
+}
+
+TEST(Checkpoint, ProgressHeartbeatReportsDoneTotalAndEta) {
+  const auto spec = small_spec();  // 16 configurations
+  std::ostringstream progress;
+  exp::SweepTableOptions opts;
+  opts.threads = 1;
+  opts.progress = &progress;
+  exp::run_sweep_table(spec, opts);
+
+  std::istringstream lines(progress.str());
+  std::string line;
+  std::size_t count = 0;
+  std::string last;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_NE(line.find("/16 configs"), std::string::npos) << line;
+    EXPECT_NE(line.find("ETA"), std::string::npos) << line;
+    last = line;
+  }
+  EXPECT_EQ(count, 16u);  // one heartbeat per finished configuration
+  EXPECT_NE(last.find("16/16 configs (100.0%)"), std::string::npos) << last;
+
+  // A resumed run reports the restored configurations up front and only
+  // heartbeats the re-executed ones.
+  const std::string path = temp_path("progress.ckpt");
+  {
+    exp::SweepTableOptions half;
+    half.threads = 2;
+    half.shard = {0, 2};
+    half.checkpoint_path = path;
+    exp::run_sweep_table(spec, half);
+  }
+  std::ostringstream resumed;
+  exp::SweepTableOptions resume;
+  resume.threads = 1;
+  resume.checkpoint_path = path;
+  resume.progress = &resumed;
+  exp::run_sweep_table(spec, resume);
+  EXPECT_EQ(resumed.str().rfind("wsf-sweep: resumed 8/16 configs", 0), 0u);
+  EXPECT_NE(resumed.str().find("9/16 configs"), std::string::npos);
+  EXPECT_NE(resumed.str().find("16/16 configs (100.0%)"),
+            std::string::npos);
 }
 
 TEST(Checkpoint, SignatureCoversResultAffectingParameters) {

@@ -1,0 +1,199 @@
+// Error paths of the checkpoint merge/resume machinery: every way shard
+// reassembly can be handed inconsistent inputs — duplicate configurations,
+// overlapping shard partitions, mismatched spec signatures, tampered
+// identity columns, foreign column sets — must fail loudly with a
+// diagnostic naming the problem, never splice mismatched results.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/sweep.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace wsf {
+namespace {
+
+exp::SweepSpec spec_16() {
+  exp::SweepSpec spec;
+  spec.graphs = {{"fig4", {.size = 4}, {}}, {"fig6a", {.size = 4}, {}}};
+  spec.procs = {1, 2};
+  spec.policies = {core::ForkPolicy::FutureFirst,
+                   core::ForkPolicy::ParentFirst};
+  spec.cache_lines = {0, 4};
+  spec.seeds = 2;
+  return spec;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// Runs one shard of the spec with a checkpoint and loads the result.
+exp::Checkpoint shard_checkpoint(const exp::SweepSpec& spec,
+                                 std::uint32_t index, std::uint32_t count,
+                                 const std::string& name) {
+  exp::SweepTableOptions opts;
+  opts.threads = 2;
+  opts.shard = {index, count};
+  opts.checkpoint_path = temp_path(name);
+  exp::run_sweep_table(spec, opts);
+  return exp::load_checkpoint(opts.checkpoint_path);
+}
+
+// The CheckError message must mention every listed needle — diagnostics
+// are part of the contract here, not decoration.
+template <typename Fn>
+void expect_failure_mentioning(Fn&& fn,
+                               const std::vector<std::string>& needles) {
+  try {
+    fn();
+    FAIL() << "expected a CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    for (const std::string& needle : needles)
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "diagnostic lacks '" << needle << "':\n" << what;
+  }
+}
+
+TEST(MergeErrors, DuplicateConfigAcrossShards) {
+  const auto spec = spec_16();
+  const auto s0 = shard_checkpoint(spec, 0, 2, "dup0.ckpt");
+  // The same shard twice: every config_index collides.
+  expect_failure_mentioning(
+      [&] { exp::merge_checkpoints({s0, s0}); },
+      {"appears in more than one shard"});
+}
+
+TEST(MergeErrors, OverlappingShardPartitions) {
+  const auto spec = spec_16();
+  // Shard 0-of-2 owns {0,2,4,…}; shard 0-of-4 owns {0,4,8,…} — a genuine
+  // operator mistake (inconsistent --shard flags across machines) whose
+  // partitions overlap on every multiple of 4.
+  const auto a = shard_checkpoint(spec, 0, 2, "overlap_a.ckpt");
+  const auto b = shard_checkpoint(spec, 0, 4, "overlap_b.ckpt");
+  expect_failure_mentioning(
+      [&] { exp::merge_checkpoints({a, b}); },
+      {"config 0", "more than one shard"});
+}
+
+TEST(MergeErrors, SignatureMismatchMidMerge) {
+  const auto base = spec_16();
+  auto other = base;
+  other.stall_prob = 0.35;  // same grid shape, different experiment
+  const auto s0 = shard_checkpoint(base, 0, 2, "sig0.ckpt");
+  const auto s1 = shard_checkpoint(other, 1, 2, "sig1.ckpt");
+  expect_failure_mentioning(
+      [&] { exp::merge_checkpoints({s0, s1}); },
+      {"shard 1", "different sweep spec", "signature mismatch"});
+}
+
+TEST(MergeErrors, IncompleteAndEmptyShardSets) {
+  const auto spec = spec_16();
+  const auto s0 = shard_checkpoint(spec, 0, 2, "half.ckpt");
+  expect_failure_mentioning([&] { exp::merge_checkpoints({s0}); },
+                            {"incomplete", "8 of 16"});
+  expect_failure_mentioning([&] { exp::merge_checkpoints({}); },
+                            {"nothing to merge"});
+}
+
+TEST(MergeErrors, ForeignColumnSetIsRejected) {
+  const auto spec = spec_16();
+  auto ckpt = shard_checkpoint(spec, 0, 2, "cols.ckpt");
+  // A checkpoint from a build whose row format differs (extra column).
+  std::vector<std::string> headers = ckpt.table.headers();
+  headers.push_back("surprise");
+  exp::Checkpoint foreign{ckpt.signature, support::Table(headers)};
+  expect_failure_mentioning(
+      [&] { exp::merge_checkpoints({foreign}); },
+      {"different column set"});
+}
+
+// Resume-side error: a checkpoint whose per-row identity columns disagree
+// with the spec expanded at that config_index.
+TEST(MergeErrors, TamperedIdentityColumnRejectedOnResume) {
+  const auto spec = spec_16();
+  const std::string path = temp_path("tamper.ckpt");
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  // Swap a family cell: the signature still matches (it is spec-derived),
+  // but row 0's identity no longer matches config 0.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  // Skip the signature and header lines — their "fig4" occurrences are
+  // spec-derived, and tampering them is the (already tested) signature
+  // mismatch, not a row-identity mismatch.
+  std::size_t body = 0;
+  for (int newline = 0; newline < 2; ++newline)
+    body = text.find('\n', body) + 1;
+  const std::size_t at = text.find("fig4", body);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 4, "fig3");
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text;
+  }
+  exp::SweepTableOptions opts;
+  opts.checkpoint_path = path;
+  expect_failure_mentioning(
+      [&] { exp::run_sweep_table(spec, opts); },
+      {"does not match this sweep spec", "family", "fig3",
+       "different grid"});
+}
+
+TEST(MergeErrors, CorruptWallMsCellRejectedOnResume) {
+  const auto spec = spec_16();
+  const std::string path = temp_path("wallms.ckpt");
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.checkpoint_path = path;
+    exp::run_sweep_table(spec, opts);
+  }
+  // Corrupt the first data row's wall_ms cell (second column).
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  // Line 3 is the first data record: "<index>,<wall_ms>,…".
+  std::size_t pos = 0;
+  for (int newline = 0; newline < 2; ++newline)
+    pos = text.find('\n', pos) + 1;
+  const std::size_t comma = text.find(',', pos);
+  const std::size_t comma2 = text.find(',', comma + 1);
+  text.replace(comma + 1, comma2 - comma - 1, "soon");
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text;
+  }
+  exp::SweepTableOptions opts;
+  opts.checkpoint_path = path;
+  expect_failure_mentioning(
+      [&] { exp::run_sweep_table(spec, opts); },
+      {"bad wall_ms cell", "soon"});
+}
+
+}  // namespace
+}  // namespace wsf

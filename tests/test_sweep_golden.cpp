@@ -1,0 +1,74 @@
+// Golden-file regression over the sweep output format: the byte-exact CSV
+// of the `wsf-sweep --smoke` grid (exp::smoke_spec(), fixed seeds) is
+// checked into tests/golden/ and diffed against a fresh in-process run.
+// Any silent drift in simulation results, row order, aggregation, or CSV
+// rendering (the PR 2 comma-mangling class of bug) fails here in ctest
+// instead of only in CI's shard-merge diff.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/checkpoint.hpp"
+#include "exp/sweep.hpp"
+#include "support/table.hpp"
+
+#ifndef WSF_GOLDEN_FILE
+#error "WSF_GOLDEN_FILE must point at tests/golden/sweep_smoke.csv"
+#endif
+
+namespace wsf {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string fresh_smoke_csv() {
+  exp::SweepTableOptions opts;
+  opts.threads = 4;
+  return exp::run_sweep_table(exp::smoke_spec(), opts).to_csv();
+}
+
+TEST(SweepGolden, SmokeCsvMatchesCheckedInGoldenFile) {
+  const std::string golden = slurp(WSF_GOLDEN_FILE);
+  ASSERT_FALSE(golden.empty())
+      << "cannot read golden file " << WSF_GOLDEN_FILE
+      << " — regenerate with: ./build/tools/wsf-sweep --smoke --format=csv "
+         "--out=tests/golden/sweep_smoke.csv";
+  const std::string fresh = fresh_smoke_csv();
+  if (fresh != golden) {
+    // Find the first differing line so the failure is actionable without
+    // diffing 121 lines by eye.
+    std::istringstream a(golden), b(fresh);
+    std::string la, lb;
+    std::size_t line = 0;
+    while (std::getline(a, la) && std::getline(b, lb)) {
+      ++line;
+      if (la != lb) break;
+    }
+    FAIL() << "sweep smoke CSV drifted from the golden file at line "
+           << line << "\n  golden: " << la << "\n  fresh:  " << lb
+           << "\nIf the change is intentional, regenerate with:\n"
+           << "  ./build/tools/wsf-sweep --smoke --format=csv "
+           << "--out=tests/golden/sweep_smoke.csv";
+  }
+}
+
+TEST(SweepGolden, GoldenFileIsLosslessUnderRoundTrip) {
+  // The golden bytes themselves round-trip through the parser — so the
+  // checked-in artifact stays loadable by wsf-plot and merge tooling.
+  const std::string golden = slurp(WSF_GOLDEN_FILE);
+  ASSERT_FALSE(golden.empty());
+  const support::Table t = support::Table::from_csv(golden);
+  EXPECT_EQ(t.to_csv(), golden);
+  EXPECT_EQ(t.headers(), exp::sweep_table_headers());
+  EXPECT_EQ(t.num_rows(), 120u);  // the smoke grid's configuration count
+}
+
+}  // namespace
+}  // namespace wsf

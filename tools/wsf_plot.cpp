@@ -1,0 +1,199 @@
+// wsf-plot — regenerate the paper's figures from wsf-sweep output.
+//
+// Consumes one or more sweep files (CSV, JSON, or raw checkpoint — shard
+// merges and single runs load identically) and, per figure family present,
+// emits a gnuplot-ready data/script pair plus a self-contained ASCII
+// preview:
+//
+//   <outdir>/<family>.dat   whitespace table: x column, one column per series
+//   <outdir>/<family>.gp    gnuplot script rendering <family>.png
+//   <outdir>/<family>.txt   the ASCII preview (also printed to stdout)
+//
+//   ./build/tools/wsf-sweep --smoke --format=csv --out=smoke.csv
+//   ./build/tools/wsf-plot --in=smoke.csv --outdir=figures
+//   ./build/tools/wsf-plot --in=a.csv --compare=b.csv      # overlay 2 runs
+//   ./build/tools/wsf-plot --in=run.csv --normalize        # y / seq baseline
+//   ./build/tools/wsf-plot --in=shard0.ckpt,shard1.ckpt    # raw checkpoints
+//
+// A family whose data path is silently broken — no rows, or a series that
+// is empty/NaN-only — fails the whole invocation, so CI catches output
+// drift instead of uploading blank plots.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/analysis.hpp"
+#include "exp/checkpoint.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace wsf;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char ch : s) {
+    if (ch == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += ch;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  WSF_REQUIRE(!out.empty(), "empty comma-separated list '" << s << "'");
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WSF_REQUIRE(in.good(), "cannot read '" << path << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// True when the file starts with the checkpoint signature prefix (reads
+// only those bytes, not the whole file).
+bool is_checkpoint_file(const std::string& path) {
+  const std::string prefix = exp::kCheckpointSignaturePrefix;
+  std::ifstream in(path, std::ios::binary);
+  WSF_REQUIRE(in.good(), "cannot read '" << path << "'");
+  std::string head(prefix.size(), '\0');
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  return static_cast<std::size_t>(in.gcount()) == prefix.size() &&
+         head == prefix;
+}
+
+// Loads every listed sweep file into one row set. Several checkpoints are
+// reassembled with merge_checkpoints (config_index order, signatures
+// cross-checked — identical to `wsf-sweep --merge`), so plotting the raw
+// shard files of a two-machine run gives byte-identical figures to
+// plotting the merged CSV. Everything else is normalized per file by
+// load_sweep and concatenated.
+support::Table load_all(const std::string& files) {
+  const std::vector<std::string> paths = split_list(files);
+  bool all_checkpoints = paths.size() > 1;
+  for (const std::string& path : paths)
+    if (all_checkpoints && !is_checkpoint_file(path))
+      all_checkpoints = false;
+  if (all_checkpoints) {
+    std::vector<exp::Checkpoint> shards;
+    for (const std::string& path : paths)
+      shards.push_back(exp::load_checkpoint(path));
+    return exp::merge_checkpoints(shards);
+  }
+  support::Table merged({"family"});
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    support::Table t = exp::analysis::load_sweep(slurp(paths[i]));
+    merged = i == 0 ? std::move(t) : exp::analysis::concat(merged, t);
+  }
+  return merged;
+}
+
+void write_file(const std::filesystem::path& path,
+                const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  WSF_REQUIRE(out.good(), "cannot open '" << path.string() << "'");
+  out << content;
+  WSF_REQUIRE(out.good(), "write to '" << path.string() << "' failed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "wsf-plot — regenerate paper figures (gnuplot .dat/.gp + ASCII "
+      "preview) from wsf-sweep CSV/JSON output or raw shard checkpoints");
+  auto& in = args.add_string(
+      "in", "", "comma-separated sweep files (CSV, JSON, or checkpoint); "
+                "multiple files are concatenated");
+  auto& compare = args.add_string(
+      "compare", "",
+      "second run to overlay: series are tagged with a run column (A = "
+      "--in, B = --compare), e.g. two scheduling policies or two commits");
+  auto& families = args.add_string(
+      "families", "", "figure families to render (default: every family "
+                      "present in the input)");
+  auto& x_axis = args.add_string("x", "", "x-axis column (default: the "
+                                          "family's registered axis, "
+                                          "usually procs)");
+  auto& measure = args.add_string(
+      "measure", "", "y-axis column (default: the family's registered "
+                     "measure, e.g. mean_additional_misses)");
+  auto& series = args.add_string(
+      "series", "", "columns whose values split rows into series "
+                    "(default: auto — the axes that vary)");
+  auto& normalize = args.add_bool(
+      "normalize", false,
+      "divide the measure by the sequential baseline column "
+      "(mean_seq_misses)");
+  auto& outdir = args.add_string("outdir", "plots",
+                                 "directory for the .dat/.gp/.txt files");
+  auto& quiet = args.add_bool(
+      "quiet", false, "do not print the ASCII previews to stdout");
+  if (!args.parse(argc, argv)) return 0;
+
+  try {
+    WSF_REQUIRE(!in.value.empty(),
+                "--in is required (one or more sweep CSV/JSON/checkpoint "
+                "files)");
+    support::Table sweep = load_all(in.value);
+    if (!compare.value.empty()) {
+      // Tag each run, then concatenate: "run" joins the series-splitting
+      // axes, so every series appears once per run, labelled A/B.
+      sweep = exp::analysis::with_constant(sweep, "run", "A");
+      sweep = exp::analysis::concat(
+          sweep, exp::analysis::with_constant(load_all(compare.value),
+                                              "run", "B"));
+    }
+
+    exp::analysis::FigureOptions fig_opts;
+    fig_opts.x = x_axis.value;
+    fig_opts.measure = measure.value;
+    fig_opts.normalize = normalize.value;
+    if (!series.value.empty())
+      fig_opts.series_columns = split_list(series.value);
+
+    std::vector<std::string> requested;
+    if (!families.value.empty()) {
+      requested = split_list(families.value);
+    } else {
+      // Registered-figure order first, then any unregistered families in
+      // data order — every family in the input renders.
+      const auto present = exp::analysis::distinct(sweep, "family");
+      for (const auto& fam : exp::analysis::figure_families())
+        for (const auto& p : present)
+          if (p == fam.family) requested.push_back(p);
+      for (const auto& p : present)
+        if (!exp::analysis::find_figure_family(p)) requested.push_back(p);
+    }
+    WSF_REQUIRE(!requested.empty(), "no figure families in the input");
+
+    const std::filesystem::path dir(outdir.value);
+    std::filesystem::create_directories(dir);
+    for (const std::string& family : requested) {
+      const exp::analysis::Figure fig =
+          exp::analysis::render_figure(sweep, family, fig_opts);
+      write_file(dir / (family + ".dat"), fig.dat);
+      write_file(dir / (family + ".gp"), fig.gp);
+      write_file(dir / (family + ".txt"), fig.ascii);
+      if (!quiet.value) std::fputs(fig.ascii.c_str(), stdout);
+      std::fprintf(stderr,
+                   "wsf-plot: %s — %zu series, %zu points -> %s/%s.{dat,"
+                   "gp,txt}\n",
+                   family.c_str(), fig.series.size(), fig.points,
+                   outdir.value.c_str(), family.c_str());
+    }
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-plot: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

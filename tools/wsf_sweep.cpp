@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -186,6 +187,10 @@ int main(int argc, char** argv) {
   auto& out = args.add_string("out", "",
                               "write the rendered output to this file "
                               "instead of stdout");
+  auto& progress = args.add_bool(
+      "progress", false,
+      "print a done/total + ETA heartbeat line to stderr after each "
+      "finished configuration");
   auto& smoke = args.add_bool(
       "smoke", false,
       "fast CI grid: tiny fig2/fig4 graphs, full P × policy × touch × cache "
@@ -219,17 +224,7 @@ int main(int argc, char** argv) {
     params.size2 = static_cast<std::uint32_t>(size2.value);
     params.seed = static_cast<std::uint64_t>(graph_seed.value);
     if (smoke.value) {
-      params.size = 4;
-      params.size2 = 3;
-      for (const char* family : {"fig2", "fig4"})
-        spec.graphs.push_back({family, params, {}});
-      spec.procs = {1, 2, 4, 8, 16};
-      spec.policies = {core::ForkPolicy::FutureFirst,
-                       core::ForkPolicy::ParentFirst};
-      spec.touch_enables = {sched::TouchEnable::TouchFirst,
-                            sched::TouchEnable::ContinuationFirst};
-      spec.cache_lines = {0, 4, 8};
-      spec.seeds = 2;
+      spec = exp::smoke_spec();
     } else {
       for (const std::string& family : split_list(families.value))
         spec.graphs.push_back(parse_family(family, params));
@@ -251,6 +246,7 @@ int main(int argc, char** argv) {
     run_opts.threads = static_cast<unsigned>(threads.value);
     run_opts.shard = parse_shard(shard.value);
     run_opts.checkpoint_path = checkpoint.value;
+    if (progress.value) run_opts.progress = &std::cerr;
 
     const auto t0 = std::chrono::steady_clock::now();
     const support::Table table = exp::run_sweep_table(spec, run_opts);
