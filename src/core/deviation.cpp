@@ -8,26 +8,34 @@
 
 namespace wsf::core {
 
-DeviationReport count_deviations(
-    const Graph& g, const std::vector<NodeId>& seq_order,
-    const std::vector<std::vector<NodeId>>& proc_orders) {
+DeviationCounter::DeviationCounter(const Graph& g,
+                                   const std::vector<NodeId>& seq_order)
+    : g_(g) {
   const std::size_t n = g.num_nodes();
   WSF_REQUIRE(seq_order.size() == n,
               "sequential order must cover every node: " << seq_order.size()
                                                          << " vs " << n);
   // seq_pred[v] = node executed immediately before v sequentially.
-  std::vector<NodeId> seq_pred(n, kInvalidNode);
+  seq_pred_.assign(n, kInvalidNode);
   for (std::size_t i = 1; i < seq_order.size(); ++i)
-    seq_pred[seq_order[i]] = seq_order[i - 1];
+    seq_pred_[seq_order[i]] = seq_order[i - 1];
 
   // Right children of forks, for the breakdown.
-  std::vector<char> is_fork_child(n, 0);
+  is_fork_child_.assign(n, 0);
   for (NodeId fork : g.fork_nodes()) {
-    is_fork_child[g.fork_left_child(fork)] = 1;
-    is_fork_child[g.fork_right_child(fork)] = 1;
+    is_fork_child_[g.fork_left_child(fork)] = 1;
+    is_fork_child_[g.fork_right_child(fork)] = 1;
   }
+}
 
-  DeviationReport r;
+const DeviationReport& DeviationCounter::count(
+    const std::vector<std::vector<NodeId>>& proc_orders) {
+  const std::size_t n = g_.num_nodes();
+  DeviationReport& r = report_;
+  r.deviations = 0;
+  r.touch_deviations = 0;
+  r.fork_child_deviations = 0;
+  r.other_deviations = 0;
   r.is_deviation.assign(n, 0);
   std::size_t executed = 0;
   for (const auto& order : proc_orders) {
@@ -35,14 +43,14 @@ DeviationReport count_deviations(
       ++executed;
       const NodeId v = order[i];
       const NodeId actual_prev = i == 0 ? kInvalidNode : order[i - 1];
-      const NodeId wanted_prev = seq_pred[v];
+      const NodeId wanted_prev = seq_pred_[v];
       if (wanted_prev == kInvalidNode) continue;  // first node overall
       if (actual_prev == wanted_prev) continue;
       r.is_deviation[v] = 1;
       ++r.deviations;
-      if (g.is_touch(v))
+      if (g_.is_touch(v))
         ++r.touch_deviations;
-      else if (is_fork_child[v])
+      else if (is_fork_child_[v])
         ++r.fork_child_deviations;
       else
         ++r.other_deviations;
@@ -51,6 +59,13 @@ DeviationReport count_deviations(
   WSF_REQUIRE(executed == n, "parallel execution covered "
                                  << executed << " of " << n << " nodes");
   return r;
+}
+
+DeviationReport count_deviations(
+    const Graph& g, const std::vector<NodeId>& seq_order,
+    const std::vector<std::vector<NodeId>>& proc_orders) {
+  DeviationCounter counter(g, seq_order);
+  return counter.count(proc_orders);
 }
 
 std::vector<DeviationChain> deviation_chains(

@@ -40,6 +40,28 @@ DeviationReport count_deviations(
     const Graph& g, const std::vector<NodeId>& seq_order,
     const std::vector<std::vector<NodeId>>& proc_orders);
 
+/// Replicate-loop arena for deviation counting: the sequential-predecessor
+/// and fork-child lookup tables are derived once per (graph, seq_order) and
+/// the report's flag vector is recycled, so counting a batch of replicates
+/// costs no per-replicate allocation or O(n) table rebuilding — the
+/// deviation-side analogue of Simulator::reset. count() results are
+/// identical to count_deviations() by construction.
+class DeviationCounter {
+ public:
+  DeviationCounter(const Graph& g, const std::vector<NodeId>& seq_order);
+
+  /// Counts one execution's deviations into the reused report. The returned
+  /// reference is valid until the next count() call.
+  const DeviationReport& count(
+      const std::vector<std::vector<NodeId>>& proc_orders);
+
+ private:
+  const Graph& g_;
+  std::vector<NodeId> seq_pred_;
+  std::vector<char> is_fork_child_;
+  DeviationReport report_;
+};
+
 /// A deviation chain (proof of Theorem 8): starting from a stolen fork
 /// right-child u, the touch x₁ of the fork's future thread may deviate;
 /// if x₁ lies in a future thread t₂, t₂'s own touch x₂ may deviate next,

@@ -280,6 +280,68 @@ Table concat(const Table& a, const Table& b) {
   return out;
 }
 
+Table join(const Table& left, const Table& right,
+           const std::vector<std::string>& keys,
+           const std::string& left_suffix, const std::string& right_suffix) {
+  WSF_REQUIRE(!keys.empty(), "join needs at least one key column");
+  WSF_REQUIRE(left_suffix != right_suffix,
+              "join: the suffixes must differ ('" << left_suffix << "')");
+  std::vector<std::size_t> lkeys, rkeys;
+  for (const std::string& k : keys) {
+    lkeys.push_back(left.column_index(k));
+    rkeys.push_back(right.column_index(k));
+  }
+  const auto is_key = [&keys](const std::string& name) {
+    for (const std::string& k : keys)
+      if (k == name) return true;
+    return false;
+  };
+
+  // Output columns: the key tuple once, then every non-key column of each
+  // side, suffixed so the two runs' measures sit side by side.
+  std::vector<std::string> headers = keys;
+  std::vector<std::size_t> lvals, rvals;
+  for (std::size_t c = 0; c < left.headers().size(); ++c)
+    if (!is_key(left.headers()[c])) {
+      headers.push_back(left.headers()[c] + left_suffix);
+      lvals.push_back(c);
+    }
+  for (std::size_t c = 0; c < right.headers().size(); ++c)
+    if (!is_key(right.headers()[c])) {
+      headers.push_back(right.headers()[c] + right_suffix);
+      rvals.push_back(c);
+    }
+
+  // Key tuple → right-row indices, preserving right order per key.
+  const auto key_of = [](const Table& t, std::size_t row,
+                         const std::vector<std::size_t>& cols) {
+    std::string key;
+    for (const std::size_t c : cols) {
+      key += t.cell(row, c);
+      key += '\x1f';  // unit separator: cells cannot collide across columns
+    }
+    return key;
+  };
+  std::map<std::string, std::vector<std::size_t>> by_key;
+  for (std::size_t r = 0; r < right.num_rows(); ++r)
+    by_key[key_of(right, r, rkeys)].push_back(r);
+
+  Table out(std::move(headers));
+  for (std::size_t lr = 0; lr < left.num_rows(); ++lr) {
+    const auto it = by_key.find(key_of(left, lr, lkeys));
+    if (it == by_key.end()) continue;  // inner join: unmatched rows drop
+    for (const std::size_t rr : it->second) {
+      std::vector<std::string> cells;
+      cells.reserve(keys.size() + lvals.size() + rvals.size());
+      for (const std::size_t c : lkeys) cells.push_back(left.cell(lr, c));
+      for (const std::size_t c : lvals) cells.push_back(left.cell(lr, c));
+      for (const std::size_t c : rvals) cells.push_back(right.cell(rr, c));
+      out.add_row(std::move(cells));
+    }
+  }
+  return out;
+}
+
 Table load_sweep(const std::string& text) {
   const std::size_t first = text.find_first_not_of(" \t\r\n");
   WSF_REQUIRE(first != std::string::npos, "empty sweep input");
@@ -543,11 +605,13 @@ Figure render_figure(const Table& sweep, const std::string& family,
                            << "baseline to normalize by (all cache_lines=0?)");
   }
 
-  // Series: the axes that actually vary within this family's rows.
+  // Series: the axes that actually vary within this family's rows. A file
+  // holding both execution backends (wsf-sweep --backend=both) splits into
+  // sim-vs-runtime series the same way a --compare run pair does.
   std::vector<std::string> series_cols = opts.series_columns;
   if (series_cols.empty()) {
     for (const char* cand : {"policy", "touch_enable", "cache_lines",
-                             "size", "size2", "run"})
+                             "size", "size2", "backend", "run"})
       if (std::string(cand) != fig.x && rows.has_column(cand) &&
           distinct(rows, cand).size() > 1)
         series_cols.push_back(cand);
@@ -559,7 +623,8 @@ Figure render_figure(const Table& sweep, const std::string& family,
     std::string label;
     for (const std::string& col : series_cols) {
       std::string part;
-      if (col == "policy" || col == "touch_enable" || col == "run")
+      if (col == "policy" || col == "touch_enable" || col == "run" ||
+          col == "backend")
         part = r.get(col);
       else if (col == "cache_lines")
         part = "C=" + r.get(col);

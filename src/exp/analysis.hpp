@@ -119,6 +119,21 @@ std::vector<std::string> distinct(const support::Table& t,
 /// Vertical concatenation; headers must agree exactly.
 support::Table concat(const support::Table& a, const support::Table& b);
 
+/// SQL-style inner join on an equal key tuple: one output row per matching
+/// (left row, right row) pair, left order major, right order minor. Output
+/// columns are the keys once, then every non-key column of the left table
+/// suffixed with `left_suffix`, then every non-key column of the right
+/// table suffixed with `right_suffix` — the multi-measure wide shape the
+/// sim-vs-runtime comparison table is built from:
+///   join(sim_rows, runtime_rows, {"family", "procs", "policy", …})
+/// puts mean_deviations_A (simulated) next to mean_deviations_B (measured
+/// on the real scheduler) for every grid point. Unmatched rows drop;
+/// missing key columns throw wsf::CheckError.
+support::Table join(const support::Table& left, const support::Table& right,
+                    const std::vector<std::string>& keys,
+                    const std::string& left_suffix = "_A",
+                    const std::string& right_suffix = "_B");
+
 /// Normalizes any sweep output format into plain sweep rows:
 ///   - a sweep CSV (wsf-sweep --format=csv, or merge_checkpoints output),
 ///   - a checkpoint file (signature line recognized and dropped, rows

@@ -45,6 +45,7 @@ void check_row_matches_config(const std::vector<std::string>& headers,
                               const SweepConfig& config,
                               std::uint64_t seeds, std::size_t index) {
   std::map<std::string, std::string> expected;
+  expected["backend"] = to_string(config.backend);
   expected["family"] = config.family;
   expected["size"] = std::to_string(config.params.size);
   expected["size2"] = std::to_string(config.params.size2);
@@ -86,8 +87,9 @@ std::vector<std::string> checkpoint_headers() {
 
 std::string spec_signature(const SweepSpec& spec) {
   const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
-  const std::size_t configs = axes.size() * spec.cache_lines.size() *
-                              spec.procs.size() * spec.policies.size() *
+  const std::size_t configs = spec.backends.size() * axes.size() *
+                              spec.cache_lines.size() * spec.procs.size() *
+                              spec.policies.size() *
                               spec.touch_enables.size();
   // The stall probability must be encoded losslessly (%.17g, not the
   // table's 4-decimal rendering): two runs whose stall values agree only
@@ -97,7 +99,9 @@ std::string spec_signature(const SweepSpec& spec) {
   std::ostringstream os;
   // merge_checkpoints parses the configs= token back out to know the full
   // grid size; keep it first and space-delimited.
-  os << "configs=" << configs << " graphs=";
+  os << "configs=" << configs << " backends=";
+  for (const BackendKind b : spec.backends) os << to_string(b) << ';';
+  os << " graphs=";
   for (const GraphAxis& axis : axes)
     os << axis.family << ':' << axis.params.size << ':' << axis.params.size2
        << ':' << axis.params.seed << ';';

@@ -1,7 +1,9 @@
 // Concurrent sweep execution: one job per configuration, jobs pulled from a
-// shared atomic cursor by std::thread workers. Each job is an independent
-// sequence of run_experiment() calls on an immutable shared graph, so the
-// workers share nothing mutable and need no locks; rows are written into
+// shared atomic cursor by std::thread workers. Each job runs its
+// configuration's replicates through that configuration's Backend (the
+// deterministic simulator or the real work-stealing runtime) on an
+// immutable shared graph; backends are created per worker thread, so the
+// workers share nothing mutable and need no locks. Rows are written into
 // preallocated slots, keeping the output order (and therefore the CSV)
 // deterministic regardless of how the OS schedules the workers. Sharding
 // and resume are handled here by filtering the job list — shard k of n owns
@@ -12,10 +14,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "exp/backend.hpp"
 #include "exp/sweep.hpp"
 #include "support/check.hpp"
 
@@ -62,6 +66,15 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
   std::mutex failure_mutex;
   std::mutex row_mutex;  // serializes on_row (checkpoint appends)
   auto work = [&] {
+    // One backend instance of each kind per worker thread: backends are
+    // stateful (the runtime backend keeps a live scheduler between
+    // configurations) and not thread-safe.
+    std::unique_ptr<Backend> backends[2];
+    const auto backend_for = [&backends](BackendKind kind) -> Backend& {
+      auto& slot = backends[static_cast<std::size_t>(kind)];
+      if (!slot) slot = make_backend(kind);
+      return *slot;
+    };
     for (std::size_t j;
          !cancelled.load(std::memory_order_relaxed) &&
          (j = next.fetch_add(1)) < jobs.size();) {
@@ -69,9 +82,10 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
       try {
         const SweepConfig& cfg = configs[i];
         const auto t0 = std::chrono::steady_clock::now();
-        result.rows[i].cell =
-            run_replicates(graphs[cfg.graph_index].graph, cfg.options,
-                           spec.seed_base, spec.seeds);
+        result.rows[i].cell = backend_for(cfg.backend)
+                                  .run_config(graphs[cfg.graph_index].graph,
+                                              cfg, spec.seed_base,
+                                              spec.seeds);
         result.rows[i].wall_ms = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 std::chrono::steady_clock::now() - t0)

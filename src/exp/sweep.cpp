@@ -50,6 +50,8 @@ std::vector<GraphAxis> flatten_graph_axes(const SweepSpec& spec) {
 
 std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
   WSF_REQUIRE(!spec.graphs.empty(), "sweep needs at least one graph axis");
+  WSF_REQUIRE(!spec.backends.empty(),
+              "sweep needs at least one execution backend");
   WSF_REQUIRE(!spec.procs.empty(), "sweep needs at least one P value");
   WSF_REQUIRE(!spec.policies.empty(), "sweep needs at least one fork policy");
   WSF_REQUIRE(!spec.touch_enables.empty(),
@@ -60,27 +62,32 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
 
   const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
   std::vector<SweepConfig> configs;
-  configs.reserve(axes.size() * spec.cache_lines.size() * spec.procs.size() *
+  configs.reserve(spec.backends.size() * axes.size() *
+                  spec.cache_lines.size() * spec.procs.size() *
                   spec.policies.size() * spec.touch_enables.size());
-  for (std::size_t gi = 0; gi < axes.size(); ++gi) {
-    for (std::size_t ci = 0; ci < spec.cache_lines.size(); ++ci) {
-      for (const std::uint32_t procs : spec.procs) {
-        for (const core::ForkPolicy policy : spec.policies) {
-          for (const sched::TouchEnable touch : spec.touch_enables) {
-            SweepConfig cfg;
-            cfg.family = axes[gi].family;
-            cfg.params = axes[gi].params;
-            cfg.params.cache_lines = spec.cache_lines[ci];
-            cfg.graph_index = gi * spec.cache_lines.size() + ci;
-            cfg.options.procs = procs;
-            cfg.options.policy = policy;
-            cfg.options.touch_enable = touch;
-            cfg.options.cache_lines = spec.cache_lines[ci];
-            cfg.options.cache_policy = spec.cache_policy;
-            cfg.options.stall_prob = spec.stall_prob;
-            cfg.options.seed = spec.seed_base;
-            cfg.options.max_steps = spec.max_steps;
-            configs.push_back(cfg);
+  for (const BackendKind backend : spec.backends) {
+    for (std::size_t gi = 0; gi < axes.size(); ++gi) {
+      for (std::size_t ci = 0; ci < spec.cache_lines.size(); ++ci) {
+        for (const std::uint32_t procs : spec.procs) {
+          for (const core::ForkPolicy policy : spec.policies) {
+            for (const sched::TouchEnable touch : spec.touch_enables) {
+              SweepConfig cfg;
+              cfg.family = axes[gi].family;
+              cfg.params = axes[gi].params;
+              cfg.params.cache_lines = spec.cache_lines[ci];
+              // Both backends of one grid point replay one shared graph.
+              cfg.graph_index = gi * spec.cache_lines.size() + ci;
+              cfg.backend = backend;
+              cfg.options.procs = procs;
+              cfg.options.policy = policy;
+              cfg.options.touch_enable = touch;
+              cfg.options.cache_lines = spec.cache_lines[ci];
+              cfg.options.cache_policy = spec.cache_policy;
+              cfg.options.stall_prob = spec.stall_prob;
+              cfg.options.seed = spec.seed_base;
+              cfg.options.max_steps = spec.max_steps;
+              configs.push_back(cfg);
+            }
           }
         }
       }
@@ -114,17 +121,21 @@ SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
   // identical to run_experiment()'s by construction.
   cell.stats = core::compute_stats(g);
   const sched::SeqResult seq = sched::run_sequential(g, opts);
-  opts.record_trace = true;  // count_deviations needs proc_orders
+  opts.record_trace = true;  // deviation counting needs proc_orders
   opts.seed = seed_base;
-  // One simulator for all replicates: reset(seed) rewinds it in place, so
-  // the pending/executed/deque/cache allocations are paid once per cell
-  // instead of once per seed.
+  // The whole replicate batch runs through one simulator arena and one
+  // deviation counter: reset(seed) rewinds the simulator in place,
+  // run_in_place() recycles the result's trace vectors, and the counter
+  // keeps its predecessor/flag tables — so a steady-state replicate pays
+  // no per-seed allocation at all (simulator state, result vectors, or
+  // deviation report).
   sched::Simulator sim(g, opts);
+  core::DeviationCounter dev_counter(g, seq.order);
   for (std::uint64_t k = 0; k < seed_count; ++k) {
     if (k > 0) sim.reset(seed_base + k);
-    const sched::SimResult par = sim.run();
-    const core::DeviationReport deviations =
-        core::count_deviations(g, seq.order, par.proc_orders);
+    const sched::SimResult& par = sim.run_in_place();
+    const core::DeviationReport& deviations =
+        dev_counter.count(par.proc_orders);
     const auto additional_misses =
         static_cast<std::int64_t>(par.total_misses()) -
         static_cast<std::int64_t>(seq.misses);
@@ -147,17 +158,25 @@ double stderr_of(const support::Accumulator& acc) {
 }
 
 std::vector<std::string> sweep_table_headers() {
-  return {"family", "size", "size2", "nodes", "span", "touches", "procs",
-          "policy", "touch_enable", "cache_lines", "replicates",
+  return {"backend", "family", "size", "size2", "nodes", "span", "touches",
+          "procs", "policy", "touch_enable", "cache_lines", "replicates",
           "mean_deviations", "stderr_deviations", "mean_additional_misses",
           "stderr_additional_misses", "mean_seq_misses", "mean_steals",
           "stderr_steals", "mean_steps", "mean_declined_steals",
-          "mean_premature_touches"};
+          "mean_premature_touches", "mean_parked_touches",
+          "mean_fiber_switches", "mean_migrations", "mean_wall_us"};
 }
 
 void add_sweep_row(support::Table& table, const SweepConfig& c,
                    const SweepCell& cell) {
+  // A measure the configuration's backend never produced (count 0) is a
+  // missing cell, not a fake 0 — NaN renders as "—"/blank/null.
+  const auto mean_or_missing = [](const support::Accumulator& acc) {
+    return acc.count() ? acc.mean()
+                       : std::numeric_limits<double>::quiet_NaN();
+  };
   table.row()
+      .add(to_string(c.backend))
       .add(c.family)
       .add(static_cast<std::uint64_t>(c.params.size))
       .add(static_cast<std::uint64_t>(c.params.size2))
@@ -171,14 +190,18 @@ void add_sweep_row(support::Table& table, const SweepConfig& c,
       .add(static_cast<std::uint64_t>(cell.deviations.count()))
       .add(cell.deviations.mean())
       .add(stderr_of(cell.deviations))
-      .add(cell.additional_misses.mean())
+      .add(mean_or_missing(cell.additional_misses))
       .add(stderr_of(cell.additional_misses))
-      .add(cell.seq_misses.mean())
+      .add(mean_or_missing(cell.seq_misses))
       .add(cell.steals.mean())
       .add(stderr_of(cell.steals))
-      .add(cell.steps.mean())
-      .add(cell.declined_steals.mean())
-      .add(cell.premature_touches.mean());
+      .add(mean_or_missing(cell.steps))
+      .add(mean_or_missing(cell.declined_steals))
+      .add(mean_or_missing(cell.premature_touches))
+      .add(mean_or_missing(cell.parked_touches))
+      .add(mean_or_missing(cell.fiber_switches))
+      .add(mean_or_missing(cell.migrations))
+      .add(mean_or_missing(cell.wall_us));
 }
 
 std::vector<std::string> sweep_row_cells(const SweepConfig& c,

@@ -19,6 +19,7 @@
 
 #include "core/policy.hpp"
 #include "core/traversal.hpp"
+#include "exp/backend.hpp"
 #include "graphs/generated.hpp"
 #include "graphs/registry.hpp"
 #include "sched/options.hpp"
@@ -50,6 +51,11 @@ struct GraphAxis {
 /// by a single run_experiment() call with the same options and seed.
 struct SweepSpec {
   std::vector<GraphAxis> graphs;
+  /// Execution engines to run the grid on (exp/backend.hpp). The backend
+  /// is the outermost expansion axis, so `{Sim, Runtime}` runs the whole
+  /// grid on the simulator first and then again on the real work-stealing
+  /// runtime, with a `backend` identity column telling the rows apart.
+  std::vector<BackendKind> backends = {BackendKind::Sim};
   std::vector<std::uint32_t> procs = {1, 2, 4, 8};
   std::vector<core::ForkPolicy> policies = {core::ForkPolicy::FutureFirst};
   std::vector<sched::TouchEnable> touch_enables = {
@@ -73,12 +79,19 @@ struct SweepConfig {
   std::string family;
   graphs::RegistryParams params;
   /// Index into the shared graph list (generate_graphs()); configurations
-  /// differing only in P / policy / touch rule share one generated graph.
+  /// differing only in backend / P / policy / touch rule share one
+  /// generated graph.
   std::size_t graph_index = 0;
+  /// Execution engine this configuration runs on.
+  BackendKind backend = BackendKind::Sim;
   sched::SimOptions options;
 };
 
-/// Aggregate of the seed replicates of one configuration.
+/// Aggregate of the seed replicates of one configuration. An accumulator a
+/// backend never feeds (cache misses on the runtime, fiber switches in the
+/// simulator) stays at count 0 and renders as a missing cell — the row
+/// shape is shared, the measure coverage is per backend (see the README's
+/// backend matrix).
 struct SweepCell {
   core::DagStats stats;
   support::Accumulator deviations;
@@ -88,6 +101,13 @@ struct SweepCell {
   support::Accumulator declined_steals;
   support::Accumulator steps;
   support::Accumulator premature_touches;
+  /// Runtime-backend measures (runtime::WorkerCounters): touches that
+  /// parked their consumer fiber, total fiber context switches,
+  /// cross-worker continuation migrations, and wall time per replicate.
+  support::Accumulator parked_touches;
+  support::Accumulator fiber_switches;
+  support::Accumulator migrations;
+  support::Accumulator wall_us;
 };
 
 struct SweepRow {
@@ -114,9 +134,9 @@ struct SweepResult {
 SweepSpec smoke_spec();
 
 /// Expands the spec into its configuration list (no graphs generated, no
-/// simulation). Order: graphs (each axis expanded over its size list) ×
-/// cache_lines × procs × policies × touch_enables, innermost last — the
-/// row order of every emitter below.
+/// simulation). Order: backends × graphs (each axis expanded over its size
+/// list) × cache_lines × procs × policies × touch_enables, innermost last
+/// — the row order of every emitter below.
 std::vector<SweepConfig> expand_spec(const SweepSpec& spec);
 
 /// The spec's graph axes with per-family size lists flattened into one
@@ -126,14 +146,18 @@ std::vector<GraphAxis> flatten_graph_axes(const SweepSpec& spec);
 
 /// Generates the shared graph list referenced by SweepConfig::graph_index:
 /// one graph per (flattened graph axis, cache_lines) pair, in axis-major
-/// order. Configurations differing only in P / policy / touch rule share
-/// one generated graph.
+/// order. Configurations differing only in backend / P / policy / touch
+/// rule share one generated graph.
 std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec);
 
-/// Runs `seed_count` replicate experiments (seeds seed_base …
-/// seed_base + seed_count - 1) of one configuration and aggregates them.
-/// The sequential baseline inside run_experiment() is seed-independent, so
-/// seq_misses has zero variance by construction.
+/// Runs `seed_count` replicate simulator experiments (seeds seed_base …
+/// seed_base + seed_count - 1) of one configuration and aggregates them —
+/// the SimBackend implementation. The sequential baseline inside
+/// run_experiment() is seed-independent, so seq_misses has zero variance
+/// by construction. The replicates are batched through one simulator
+/// arena (Simulator::reset + run_in_place) and one core::DeviationCounter,
+/// so a steady-state replicate re-allocates neither simulator state nor
+/// result/report vectors (bench_sim_reuse measures the difference).
 SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
                          std::uint64_t seed_base, std::uint64_t seed_count);
 

@@ -57,6 +57,19 @@ class RelaxedCounter {
 };
 
 /// Per-worker counters, cache-line padded; aggregated by Counters::total().
+///
+/// The work-acquisition counters reconcile exactly at quiescence (each cell
+/// written by its single owner, every job consumed):
+///   * every deque/inbox-sourced job was obtained exactly one way:
+///       local_pops + inbox_takes + steals
+///         == (tasks_run - inline_children) + resumes
+///   * every Resume job that was created was executed:
+///       resumes == continuations_pushed + wakes_pushed
+///   * every park is resolved by exactly one wake:
+///       parked_touches == handoff_runs + wakes_pushed
+///   * every fiber activation has one source:
+///       fiber_resumes == tasks_run + resumes + handoff_runs
+/// tests/test_runtime.cpp (Accounting suite) asserts all four.
 struct alignas(64) WorkerCounters {
   RelaxedCounter spawns;
   RelaxedCounter tasks_run;
@@ -74,6 +87,26 @@ struct alignas(64) WorkerCounters {
   RelaxedCounter migrations;
   RelaxedCounter fibers_created;
   RelaxedCounter stacks_reused;
+  /// Jobs obtained by popping the bottom of the worker's own deque.
+  RelaxedCounter local_pops;
+  /// Jobs taken from the scheduler inbox (one per Scheduler::run call).
+  RelaxedCounter inbox_takes;
+  /// Resume jobs executed (suspended fibers continued from a deque).
+  RelaxedCounter resumes;
+  /// Future-first children run directly, without ever entering a deque.
+  RelaxedCounter inline_children;
+  /// Fibers run directly from a handoff: a parked consumer woken by its
+  /// producer, or the immediate wake after a lost park race.
+  RelaxedCounter handoff_runs;
+  /// Resume jobs created for suspended continuations (future-first spawns
+  /// and touch-first yields).
+  RelaxedCounter continuations_pushed;
+  /// Parked fibers woken by pushing a Resume job instead of a handoff
+  /// (continuation-first wakes and lost-park fallbacks).
+  RelaxedCounter wakes_pushed;
+  /// Context switches into a fiber (the replay layer's "fiber switches"
+  /// measure).
+  RelaxedCounter fiber_resumes;
 
   WorkerCounters& operator+=(const WorkerCounters& o);
   /// Field-wise saturating difference, for reporting counts since a

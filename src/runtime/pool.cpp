@@ -69,8 +69,14 @@ void Worker::main_loop() {
 }
 
 Job* Worker::find_work() {
-  if (Job* j = deque_.pop_bottom()) return j;
-  if (Job* j = sched_.take_injected()) return j;
+  if (Job* j = deque_.pop_bottom()) {
+    counters_.local_pops++;
+    return j;
+  }
+  if (Job* j = sched_.take_injected()) {
+    counters_.inbox_takes++;
+    return j;
+  }
   // One random steal attempt per round, like the model's parsimonious
   // thief.
   const std::uint32_t n = sched_.num_workers();
@@ -129,16 +135,24 @@ void Worker::execute(Job* job) {
     f = acquire_fiber(std::move(job->run));
   } else {
     f = job->fiber;
+    counters_.resumes++;
     if (f->user_data != this) counters_.migrations++;
   }
   delete job;
   run_fiber(f);
 }
 
+Fiber* Worker::take_handoff() {
+  Fiber* next = std::exchange(handoff_, nullptr);
+  if (next) counters_.handoff_runs++;
+  return next;
+}
+
 void Worker::run_fiber(Fiber* f) {
   while (f) {
     f->user_data = this;
     tl_fiber = f;
+    counters_.fiber_resumes++;
     f->resume(&sched_ctx_);
     tl_fiber = nullptr;
     // Back on the scheduler context. NOTE: `this` is still valid — the
@@ -146,23 +160,31 @@ void Worker::run_fiber(Fiber* f) {
     Fiber* next = nullptr;
     if (f->finished()) {
       sched_.task_finished();
-      next = std::exchange(handoff_, nullptr);
+      next = take_handoff();
       recycle(f);
     } else {
-      // The fiber suspended: either a future-first spawn or a park.
+      // The fiber suspended: a future-first spawn, a touch-first yield
+      // (switch_to without a park state), or a park (possibly a yield-park
+      // combined with a handoff — see switch_to).
       if (pending_continuation_) {
-        // Future-first spawn: now that the parent is truly suspended, make
-        // its continuation stealable and run the child.
+        // Now that the fiber is truly suspended, make its continuation
+        // stealable, then run the fresh child (future-first spawn) or the
+        // handed-off waiter (touch-first yield).
         auto* resume = new Job{Job::Kind::Resume, {},
                                std::exchange(pending_continuation_, nullptr)};
         deque_.push_bottom(resume);
-        WSF_CHECK(pending_child_ != nullptr, "spawn without a child job");
-        counters_.tasks_run++;
-        next = acquire_fiber(std::move(pending_child_->run));
-        pending_child_.reset();
+        counters_.continuations_pushed++;
+        if (pending_child_) {
+          counters_.tasks_run++;
+          counters_.inline_children++;
+          next = acquire_fiber(std::move(pending_child_->run));
+          pending_child_.reset();
+        } else {
+          next = take_handoff();
+        }
       } else {
         publish_pending_park();
-        next = std::exchange(handoff_, nullptr);
+        next = take_handoff();
       }
     }
     f = next;
@@ -174,8 +196,14 @@ void Worker::publish_pending_park() {
   Fiber* f = std::exchange(pending_park_fiber_, nullptr);
   WSF_CHECK(st != nullptr && f != nullptr, "suspend without a protocol");
   if (!st->try_park(f)) {
-    // The producer beat us to it; resume the consumer immediately.
-    handoff_ = f;
+    // The producer beat us to it; resume the consumer immediately — unless
+    // this was a yield-park already carrying a handed-off waiter, in which
+    // case the consumer is woken through the deque instead.
+    if (handoff_ == nullptr) {
+      handoff_ = f;
+    } else {
+      push_resume(f);
+    }
   }
 }
 
@@ -202,6 +230,25 @@ void Worker::park_on(FutureStateBase& state, Fiber& f) {
 void Worker::set_handoff(Fiber* f) {
   WSF_CHECK(handoff_ == nullptr, "double handoff");
   handoff_ = f;
+}
+
+void Worker::push_resume(Fiber* f) {
+  deque_.push_bottom(new Job{Job::Kind::Resume, {}, f});
+  counters_.wakes_pushed++;
+}
+
+void Worker::switch_to(Fiber& current, Fiber* next,
+                       FutureStateBase* park_state) {
+  if (park_state) {
+    pending_park_state_ = park_state;
+    pending_park_fiber_ = &current;
+  } else {
+    pending_continuation_ = &current;
+  }
+  set_handoff(next);
+  current.suspend();
+  // Resumed (possibly on another worker) — the caller must re-read
+  // current_worker().
 }
 
 }  // namespace detail

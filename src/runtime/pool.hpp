@@ -94,6 +94,17 @@ class Worker {
   void park_on(FutureStateBase& state, Fiber& f);
   /// Called by a producer that found a parked consumer.
   void set_handoff(Fiber* f);
+  /// Wakes a parked fiber by pushing it onto the deque bottom as a Resume
+  /// job, without suspending the caller (a continuation-first wake).
+  void push_resume(Fiber* f);
+  /// Suspends `current` to run `next` immediately (a touch-first wake).
+  /// The suspended fiber becomes available again either as a deque Resume
+  /// job (park_state == nullptr) or parked on `park_state` — the graph
+  /// replay parks instead of pushing when the fiber's next step is itself
+  /// an unready touch, mirroring the simulator's enabling semantics (a
+  /// never-enabled node is never pushed). Must be called from inside
+  /// `current`.
+  void switch_to(Fiber& current, Fiber* next, FutureStateBase* park_state);
 
   WorkerCounters& counters() { return counters_; }
   std::uint32_t id() const { return id_; }
@@ -106,6 +117,8 @@ class Worker {
   Job* find_work();
   void execute(Job* job);
   void run_fiber(Fiber* f);
+  /// Consumes the pending handoff (counting it), nullptr when none is set.
+  Fiber* take_handoff();
   Fiber* acquire_fiber(support::MoveOnlyFunction<void()> body);
   void recycle(Fiber* f);
   void publish_pending_park();

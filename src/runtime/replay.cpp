@@ -1,0 +1,173 @@
+#include "runtime/replay.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace wsf::runtime {
+
+GraphReplayer::GraphReplayer(const core::Graph& g) : g_(g) {
+  const std::size_t n = g_.num_nodes();
+  event_index_.assign(n, -1);
+  std::size_t count = 0;
+  for (core::NodeId v = 0; v < static_cast<core::NodeId>(n); ++v) {
+    const core::Node& node = g_.node(v);
+    for (std::uint8_t i = 0; i < node.out_count; ++i)
+      if (node.out[i].kind == core::EdgeKind::Touch)
+        event_index_[v] = static_cast<std::int32_t>(count++);
+  }
+  event_count_ = count;
+  events_ = std::make_unique<detail::FutureStateBase[]>(count);
+  executed_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+}
+
+detail::FutureStateBase& GraphReplayer::event_of(core::NodeId producer) {
+  const std::int32_t index = event_index_[producer];
+  WSF_DCHECK(index >= 0, "node has no outgoing touch edge");
+  return events_[static_cast<std::size_t>(index)];
+}
+
+detail::FutureStateBase* GraphReplayer::unready_gate(core::NodeId v) {
+  if (g_.is_touch(v)) {
+    detail::FutureStateBase& e = event_of(g_.future_parent_of(v));
+    if (!e.ready()) return &e;
+  }
+  if (v == g_.final_node())
+    for (const core::NodeId pred : g_.super_final_preds()) {
+      detail::FutureStateBase& e = event_of(pred);
+      if (!e.ready()) return &e;
+    }
+  return nullptr;
+}
+
+void GraphReplayer::wait_gates(core::NodeId v) {
+  // Figure 3 hazard accounting, mirroring the simulator: the consumer
+  // reached a touch that is not ready although the fork spawning its future
+  // thread has not even executed (impossible in structured computations).
+  if (g_.is_touch(v) && v != g_.final_node() &&
+      !event_of(g_.future_parent_of(v)).ready()) {
+    const core::NodeId fork = g_.corresponding_fork_of(v);
+    if (fork != core::kInvalidNode &&
+        !executed_[fork].load(std::memory_order_relaxed))
+      premature_.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (detail::FutureStateBase* gate = unready_gate(v))
+    detail::wait_until_ready(*gate);
+}
+
+void GraphReplayer::record(core::NodeId v) {
+  // Re-read the worker on every use: the fiber may have migrated at the
+  // previous suspension point.
+  detail::Worker* w = detail::current_worker();
+  orders_[w->id()].push_back(v);
+  executed_[v].store(1, std::memory_order_relaxed);
+}
+
+void GraphReplayer::publish(core::NodeId v, core::NodeId cont) {
+  Fiber* waiter = event_of(v).publish_ready();
+  if (!waiter) return;  // consumer not parked (it will see the ready event)
+  detail::Worker* w = detail::current_worker();
+  if (cont == core::kInvalidNode) {
+    // v is its thread's last node: this fiber finishes right after the
+    // publish, so the woken consumer runs next on this worker — in the
+    // simulator the enabled touch is the sole enabled child and is executed
+    // next, whatever the touch-enable rule.
+    w->counters().direct_handoffs++;
+    w->set_handoff(waiter);
+    return;
+  }
+  if (touch_first_) {
+    // Touch-first: run the enabled touch now. The producer's own
+    // continuation is pushed onto the deque — unless its next node is
+    // itself an unready touch (not enabled), in which case the fiber parks
+    // on that touch's event instead: the simulator never pushes a node
+    // that is not enabled, and matching that is what makes the 1-worker
+    // replay order equal the sequential baseline.
+    detail::FutureStateBase* park = unready_gate(cont);
+    if (park) w->counters().parked_touches++;
+    w->counters().direct_handoffs++;
+    w->switch_to(*detail::current_fiber(), waiter, park);
+  } else {
+    // Continuation-first: wake the consumer through the deque bottom and
+    // keep executing the producer's own thread.
+    w->push_resume(waiter);
+  }
+}
+
+void GraphReplayer::run_thread(core::ThreadId tid) {
+  core::NodeId v = g_.thread_info(tid).first_node;
+  while (v != core::kInvalidNode) {
+    wait_gates(v);
+    record(v);
+    core::NodeId cont = core::kInvalidNode;
+    if (g_.is_fork(v)) {
+      cont = g_.fork_right_child(v);
+      const core::ThreadId child = g_.thread_of(g_.fork_left_child(v));
+      // A real future per spawned thread; the scheduler's SpawnPolicy (the
+      // fork policy) decides whether the child runs inline with the parent
+      // continuation pushed (future-first) or is pushed while the parent
+      // continues (parent-first). Synchronization happens through the
+      // per-touch-edge events, so the future handle itself is a side-effect
+      // task the scheduler's quiescence tracking waits for.
+      (void)spawn([this, child] { run_thread(child); });
+    } else {
+      const core::Node& node = g_.node(v);
+      core::NodeId touch_target = core::kInvalidNode;
+      for (std::uint8_t i = 0; i < node.out_count; ++i) {
+        if (node.out[i].kind == core::EdgeKind::Continuation)
+          cont = node.out[i].node;
+        else if (node.out[i].kind == core::EdgeKind::Touch)
+          touch_target = node.out[i].node;
+      }
+      if (touch_target != core::kInvalidNode) publish(v, cont);
+    }
+    v = cont;
+  }
+}
+
+ReplayResult GraphReplayer::run(Scheduler& sched, const ReplayOptions& opts) {
+  const std::size_t n = g_.num_nodes();
+  const std::uint32_t workers = sched.num_workers();
+  touch_first_ = opts.touch_enable == sched::TouchEnable::TouchFirst;
+  orders_.resize(workers);
+  for (auto& order : orders_) {
+    order.clear();
+    order.reserve(n / workers + 1);
+  }
+  for (std::size_t i = 0; i < event_count_; ++i)
+    events_[i].state.store(detail::kEmpty, std::memory_order_relaxed);
+  for (std::size_t v = 0; v < n; ++v)
+    executed_[v].store(0, std::memory_order_relaxed);
+  premature_.store(0, std::memory_order_relaxed);
+
+  sched.reset_counters();
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.run([this] { run_thread(g_.thread_of(g_.root())); });
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+
+  std::size_t executed = 0;
+  for (const auto& order : orders_) executed += order.size();
+  WSF_CHECK(executed == n, "runtime replay executed " << executed << " of "
+                                                      << n << " nodes");
+  ReplayResult result;
+  result.counters = sched.counters();
+  result.premature_touches = premature_.load(std::memory_order_relaxed);
+  result.wall_us = static_cast<std::uint64_t>(wall.count());
+  return result;
+}
+
+ReplayResult replay_graph(Scheduler& sched, const core::Graph& g,
+                          const ReplayOptions& opts,
+                          std::vector<std::vector<core::NodeId>>* orders) {
+  GraphReplayer replayer(g);
+  ReplayResult result = replayer.run(sched, opts);
+  if (orders) *orders = replayer.worker_orders();
+  return result;
+}
+
+}  // namespace wsf::runtime

@@ -43,12 +43,29 @@ void Simulator::reset_state() {
   executed_count_ = 0;
   round_ = 0;
   ran_ = false;
-  result_ = SimResult();
+  // Field-wise clear instead of `result_ = SimResult()`: a run_in_place()
+  // replicate loop keeps the trace buffers' capacity across resets, so a
+  // steady-state replicate allocates nothing result-sided.
+  result_.steps = 0;
+  result_.steals = 0;
+  result_.steal_attempts = 0;
+  result_.failed_steals = 0;
+  result_.idle_steps = 0;
+  result_.declined_steals = 0;
+  result_.premature_touches = 0;
+  result_.stolen_nodes.clear();
+  result_.global_order.clear();
   if (opts_.record_trace) {
     result_.proc_orders.resize(opts_.procs);
-    for (auto& order : result_.proc_orders) order.reserve(n / opts_.procs + 1);
+    for (auto& order : result_.proc_orders) {
+      order.clear();
+      order.reserve(n / opts_.procs + 1);
+    }
     result_.executed_by.assign(n, 0);
     result_.global_order.reserve(n);
+  } else {
+    result_.proc_orders.clear();
+    result_.executed_by.clear();
   }
   result_.misses_per_proc.assign(opts_.procs, 0);
 }
@@ -70,6 +87,11 @@ SimResult simulate(const core::Graph& g, const SimOptions& opts,
 }
 
 SimResult Simulator::run() {
+  run_in_place();
+  return std::move(result_);
+}
+
+const SimResult& Simulator::run_in_place() {
   WSF_REQUIRE(!ran_, "Simulator::run may be called once");
   ran_ = true;
   const std::size_t n = g_.num_nodes();
@@ -120,7 +142,7 @@ SimResult Simulator::run() {
   for (core::ProcId p = 0; p < opts_.procs; ++p)
     WSF_CHECK(deques_[p].empty() && current_[p] == core::kInvalidNode,
               "processor " << p << " still holds work after completion");
-  return std::move(result_);
+  return result_;
 }
 
 void Simulator::try_steal(core::ProcId p) {

@@ -41,8 +41,18 @@ class Simulator {
             ScheduleController* controller = nullptr);
 
   /// Runs the whole computation and returns the trace. Can be called once
-  /// per construction/reset.
+  /// per construction/reset. Moves the result out of the simulator, so the
+  /// trace buffers are *not* recycled by the next reset(); replicate loops
+  /// that want full arena reuse should call run_in_place() instead.
   SimResult run();
+
+  /// Runs the whole computation in place and returns a reference to the
+  /// simulator-owned result, valid until the next reset()/run(). Together
+  /// with reset(seed) this recycles the per-run trace vectors
+  /// (proc_orders, global_order, executed_by, stolen_nodes,
+  /// misses_per_proc) across seed replicates — the result-vector half of
+  /// the sweep arena; run_replicates batches its replicates through this.
+  const SimResult& run_in_place();
 
   /// Rewinds the simulator to its pre-run state with a new schedule seed,
   /// reusing the pending/executed/current/deque/cache allocations — the

@@ -169,6 +169,50 @@ TEST(SortBy, NumericAwareAndStable) {
   EXPECT_EQ(s.cell(3, 1), "a");
 }
 
+TEST(Join, WideTableFromTwoRuns) {
+  // The sim-vs-runtime comparison shape: same identity keys, measures
+  // side by side with per-side suffixes.
+  Table sim({"family", "procs", "backend", "devs"});
+  sim.row().add("fig2").add(1).add("sim").add(3.0);
+  sim.row().add("fig2").add(2).add("sim").add(5.0);
+  sim.row().add("fig4").add(1).add("sim").add(7.0);
+  Table rt({"family", "procs", "backend", "devs"});
+  rt.row().add("fig2").add(2).add("runtime").add(6.0);
+  rt.row().add("fig2").add(1).add("runtime").add(3.0);
+
+  const Table out = an::join(sim, rt, {"family", "procs"});
+  const std::vector<std::string> expected{"family", "procs", "backend_A",
+                                          "devs_A", "backend_B", "devs_B"};
+  EXPECT_EQ(out.headers(), expected);
+  // Inner join, left order major: fig4@1 has no runtime row and drops.
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.rows()[0],
+            (std::vector<std::string>{"fig2", "1", "sim", "3", "runtime",
+                                      "3"}));
+  EXPECT_EQ(out.rows()[1],
+            (std::vector<std::string>{"fig2", "2", "sim", "5", "runtime",
+                                      "6"}));
+  // The joined wide table feeds straight into with_ratio.
+  const Table ratio = an::with_ratio(out, "r", "devs_B", "devs_A");
+  EXPECT_EQ(ratio.rows()[1].back(), "1.2");
+}
+
+TEST(Join, DuplicateRightKeysMultiplyAndMissingKeyThrows) {
+  Table left({"k", "x"});
+  left.row().add("a").add(1);
+  Table right({"k", "y"});
+  right.row().add("a").add(10);
+  right.row().add("a").add(20);
+  const Table out = an::join(left, right, {"k"});
+  ASSERT_EQ(out.num_rows(), 2u);  // one per matching right row, right order
+  EXPECT_EQ(out.rows()[0], (std::vector<std::string>{"a", "1", "10"}));
+  EXPECT_EQ(out.rows()[1], (std::vector<std::string>{"a", "1", "20"}));
+
+  EXPECT_THROW(an::join(left, right, {"nope"}), CheckError);
+  EXPECT_THROW(an::join(left, right, {}), CheckError);
+  EXPECT_THROW(an::join(left, right, {"k"}, "_s", "_s"), CheckError);
+}
+
 TEST(DistinctAndConcat, Basics) {
   EXPECT_EQ(an::distinct(sample(), "policy"),
             (std::vector<std::string>{"ff", "pf"}));

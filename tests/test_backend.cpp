@@ -1,0 +1,201 @@
+// Pluggable sweep backends (exp/backend.hpp): the backend expansion axis,
+// schema stability of runtime-backend rows, the sim-vs-runtime deviation
+// agreement at one worker, and the checkpoint-signature isolation that
+// keeps sim and runtime rows from ever merging silently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/backend.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/sweep.hpp"
+#include "graphs/registry.hpp"
+#include "support/check.hpp"
+
+namespace wsf {
+namespace {
+
+using core::ForkPolicy;
+using sched::TouchEnable;
+
+exp::SweepSpec both_backends_spec() {
+  exp::SweepSpec spec;
+  spec.graphs = {{"fig2", {.size = 4, .size2 = 3}, {}},
+                 {"fig4", {.size = 4, .size2 = 3}, {}}};
+  spec.backends = {exp::BackendKind::Sim, exp::BackendKind::Runtime};
+  spec.procs = {1, 2};
+  spec.policies = {ForkPolicy::FutureFirst, ForkPolicy::ParentFirst};
+  spec.touch_enables = {TouchEnable::TouchFirst};
+  spec.cache_lines = {0};
+  spec.seeds = 2;
+  return spec;
+}
+
+std::string cell(const support::Table& t, std::size_t row,
+                 const std::string& column) {
+  return t.cell(row, t.column_index(column));
+}
+
+TEST(BackendSpec, BackendIsTheOutermostAxis) {
+  const auto spec = both_backends_spec();
+  const auto configs = exp::expand_spec(spec);
+  // backends(2) × graphs(2) × cache(1) × procs(2) × policies(2) × touch(1)
+  ASSERT_EQ(configs.size(), 16u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(configs[i].backend, exp::BackendKind::Sim);
+    EXPECT_EQ(configs[i + 8].backend, exp::BackendKind::Runtime);
+    // The two backends of a grid point share everything else, including
+    // the generated graph.
+    EXPECT_EQ(configs[i].family, configs[i + 8].family);
+    EXPECT_EQ(configs[i].graph_index, configs[i + 8].graph_index);
+    EXPECT_EQ(configs[i].options.procs, configs[i + 8].options.procs);
+    EXPECT_EQ(configs[i].options.policy, configs[i + 8].options.policy);
+  }
+}
+
+TEST(BackendSpec, ParsesNames) {
+  EXPECT_EQ(exp::backend_from_string("sim"), exp::BackendKind::Sim);
+  EXPECT_EQ(exp::backend_from_string("runtime"), exp::BackendKind::Runtime);
+  EXPECT_THROW(exp::backend_from_string("hardware"), CheckError);
+  EXPECT_STREQ(to_string(exp::BackendKind::Sim), "sim");
+  EXPECT_STREQ(to_string(exp::BackendKind::Runtime), "runtime");
+}
+
+TEST(BackendRows, SharedSchemaWithPerBackendMeasureCoverage) {
+  const auto spec = both_backends_spec();
+  const auto table = exp::to_table(exp::run_sweep(spec, 2));
+  EXPECT_EQ(table.headers(), exp::sweep_table_headers());
+  ASSERT_EQ(table.num_rows(), 16u);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const bool sim = cell(table, r, "backend") == "sim";
+    if (!sim) {
+      EXPECT_EQ(cell(table, r, "backend"), "runtime");
+    }
+    // Both backends report the paper's deviation/steal measures…
+    EXPECT_FALSE(cell(table, r, "mean_deviations").empty());
+    EXPECT_FALSE(cell(table, r, "mean_steals").empty());
+    EXPECT_EQ(cell(table, r, "replicates"), "2");
+    // …while engine-specific measures stay missing on the other engine:
+    // cache misses and the round grid exist only in the simulator, fiber
+    // and wall-clock measures only on the runtime.
+    EXPECT_EQ(cell(table, r, "mean_additional_misses").empty(), !sim);
+    EXPECT_EQ(cell(table, r, "mean_seq_misses").empty(), !sim);
+    EXPECT_EQ(cell(table, r, "mean_steps").empty(), !sim);
+    EXPECT_EQ(cell(table, r, "mean_declined_steals").empty(), !sim);
+    EXPECT_EQ(cell(table, r, "mean_fiber_switches").empty(), sim);
+    EXPECT_EQ(cell(table, r, "mean_parked_touches").empty(), sim);
+    EXPECT_EQ(cell(table, r, "mean_migrations").empty(), sim);
+    EXPECT_EQ(cell(table, r, "mean_wall_us").empty(), sim);
+  }
+}
+
+TEST(BackendRows, OneWorkerDeviationsAgreeAcrossBackendsOnEveryFamily) {
+  // The paper's validation hinge: at P=1 both engines execute the exact
+  // sequential order, so the deviation cells must agree exactly — for
+  // every registered family.
+  exp::SweepSpec spec;
+  graphs::RegistryParams params;
+  params.size = 4;
+  params.size2 = 3;
+  for (const std::string& family : graphs::registry_names())
+    spec.graphs.push_back({family, params, {}});
+  spec.backends = {exp::BackendKind::Sim, exp::BackendKind::Runtime};
+  spec.procs = {1};
+  spec.policies = {ForkPolicy::FutureFirst, ForkPolicy::ParentFirst};
+  spec.touch_enables = {TouchEnable::TouchFirst,
+                        TouchEnable::ContinuationFirst};
+  spec.cache_lines = {0};
+  spec.seeds = 2;
+
+  const auto table = exp::to_table(exp::run_sweep(spec, 2));
+  const std::size_t half = table.num_rows() / 2;
+  ASSERT_GT(half, 0u);
+  for (std::size_t r = 0; r < half; ++r) {
+    ASSERT_EQ(cell(table, r, "backend"), "sim");
+    ASSERT_EQ(cell(table, r + half, "backend"), "runtime");
+    ASSERT_EQ(cell(table, r, "family"), cell(table, r + half, "family"));
+    EXPECT_EQ(cell(table, r, "mean_deviations"),
+              cell(table, r + half, "mean_deviations"))
+        << cell(table, r, "family") << " " << cell(table, r, "policy")
+        << " " << cell(table, r, "touch_enable");
+    EXPECT_EQ(cell(table, r + half, "mean_deviations"), "0");
+    EXPECT_EQ(cell(table, r + half, "mean_steals"), "0");
+  }
+}
+
+TEST(BackendCheckpoints, SignatureSeparatesBackends) {
+  const auto spec = both_backends_spec();
+  auto sim_only = spec;
+  sim_only.backends = {exp::BackendKind::Sim};
+  auto runtime_only = spec;
+  runtime_only.backends = {exp::BackendKind::Runtime};
+
+  const std::string sim_sig = exp::spec_signature(sim_only);
+  const std::string rt_sig = exp::spec_signature(runtime_only);
+  EXPECT_NE(sim_sig, rt_sig);
+  EXPECT_NE(exp::spec_signature(spec), sim_sig);
+  EXPECT_NE(sim_sig.find("backends=sim;"), std::string::npos);
+  EXPECT_NE(rt_sig.find("backends=runtime;"), std::string::npos);
+
+  // A checkpoint written by the sim grid must be rejected when resumed as
+  // a runtime grid (and vice versa): sim and runtime rows never splice.
+  const std::string path = ::testing::TempDir() + "backend.ckpt";
+  std::remove(path.c_str());
+  exp::SweepTableOptions opts;
+  opts.threads = 2;
+  opts.checkpoint_path = path;
+  (void)exp::run_sweep_table(sim_only, opts);
+  EXPECT_THROW(exp::run_sweep_table(runtime_only, opts), CheckError);
+
+  // Shard checkpoints of different backends refuse to merge.
+  const std::string rt_path = ::testing::TempDir() + "backend-rt.ckpt";
+  std::remove(rt_path.c_str());
+  exp::SweepTableOptions rt_opts;
+  rt_opts.threads = 2;
+  rt_opts.checkpoint_path = rt_path;
+  (void)exp::run_sweep_table(runtime_only, rt_opts);
+  EXPECT_THROW(exp::merge_checkpoints({exp::load_checkpoint(path),
+                                       exp::load_checkpoint(rt_path)}),
+               CheckError);
+}
+
+TEST(BackendCheckpoints, RuntimeRowsResumeVerbatim) {
+  // Runtime measures are not reproducible run to run (real scheduling),
+  // but a resume restores finished rows byte-for-byte instead of
+  // re-executing them — same contract as the simulator backend.
+  exp::SweepSpec spec = both_backends_spec();
+  spec.backends = {exp::BackendKind::Runtime};
+  const std::string path = ::testing::TempDir() + "backend-resume.ckpt";
+  std::remove(path.c_str());
+  {
+    exp::SweepTableOptions opts;
+    opts.threads = 2;
+    opts.shard = {0, 2};
+    opts.checkpoint_path = path;
+    (void)exp::run_sweep_table(spec, opts);
+  }
+  const auto before = exp::load_checkpoint(path);
+  std::vector<std::size_t> executed;
+  exp::SweepTableOptions opts;
+  opts.threads = 1;
+  opts.checkpoint_path = path;
+  opts.on_row = [&](std::size_t i, const exp::SweepRow&) {
+    executed.push_back(i);
+  };
+  (void)exp::run_sweep_table(spec, opts);
+  for (const std::size_t i : executed) EXPECT_EQ(i % 2, 1u);
+  const auto after = exp::load_checkpoint(path);
+  // Every row of the partial run survives the resume unchanged.
+  for (const auto& row : before.table.rows()) {
+    bool found = false;
+    for (const auto& other : after.table.rows())
+      if (other == row) found = true;
+    EXPECT_TRUE(found) << "restored row was rewritten";
+  }
+}
+
+}  // namespace
+}  // namespace wsf

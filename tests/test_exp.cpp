@@ -173,8 +173,9 @@ TEST(SweepOutput, CsvHasHeaderAndOneLinePerConfig) {
   const auto spec = small_spec();
   const auto result = exp::run_sweep(spec, 2);
   const std::string csv = exp::to_table(result).to_csv();
-  ASSERT_EQ(csv.rfind("family,size,size2,nodes,span,touches,procs,policy,",
-                      0),
+  ASSERT_EQ(csv.rfind(
+                "backend,family,size,size2,nodes,span,touches,procs,policy,",
+                0),
             0u);
   std::size_t lines = 0;
   for (const char ch : csv)

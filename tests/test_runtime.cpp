@@ -247,6 +247,86 @@ TEST(Runtime, ParentFirstParksOnSingleWorker) {
   EXPECT_EQ(sched.counters().total().direct_handoffs, 32u);
 }
 
+// Mirror of the PR 2 simulator Accounting suite for the runtime's
+// WorkerCounters: the work-acquisition and park/wake counters must
+// reconcile exactly with the tasks that ran, at quiescence, under both
+// policies and various worker counts (see counters.hpp for the
+// identities).
+class Accounting : public ::testing::TestWithParam<SpawnPolicy> {
+ protected:
+  static void expect_reconciled(const WorkerCounters& t,
+                                std::uint64_t runs) {
+    // Every closure that ran was either spawned or injected by run().
+    EXPECT_EQ(t.tasks_run, t.spawns + runs);
+    EXPECT_EQ(t.inbox_takes, runs);
+    // Every deque/inbox-sourced job was obtained exactly one way: pop of
+    // the own deque bottom, inbox take, or steal — and those jobs are
+    // exactly the non-inline fresh tasks plus the executed Resume jobs.
+    EXPECT_EQ(t.local_pops + t.inbox_takes + t.steals,
+              (t.tasks_run - t.inline_children) + t.resumes);
+    // Every Resume job that was created was executed.
+    EXPECT_EQ(t.resumes, t.continuations_pushed + t.wakes_pushed);
+    // Every park resolves through exactly one handoff or one deque wake.
+    EXPECT_EQ(t.parked_touches, t.handoff_runs + t.wakes_pushed);
+    // Every fiber activation has one source: a fresh task, a Resume job,
+    // or a handoff.
+    EXPECT_EQ(t.fiber_resumes, t.tasks_run + t.resumes + t.handoff_runs);
+  }
+};
+
+TEST_P(Accounting, ReconcilesOnFib) {
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    RuntimeOptions opts;
+    opts.workers = workers;
+    opts.policy = GetParam();
+    Scheduler sched(opts);
+    sched.reset_counters();
+    (void)sched.run([] { return fib_par(18); });
+    expect_reconciled(sched.counters().total(), 1);
+  }
+}
+
+TEST_P(Accounting, ReconcilesAcrossRepeatedRuns) {
+  RuntimeOptions opts;
+  opts.workers = 3;
+  opts.policy = GetParam();
+  Scheduler sched(opts);
+  sched.reset_counters();
+  constexpr std::uint64_t kRuns = 6;
+  for (std::uint64_t round = 0; round < kRuns; ++round) {
+    (void)sched.run([] {
+      std::vector<Future<int>> futures;
+      for (int i = 0; i < 50; ++i) futures.push_back(spawn([i] { return i; }));
+      int sum = 0;
+      for (auto& f : futures) sum += f.touch();
+      return sum;
+    });
+  }
+  expect_reconciled(sched.counters().total(), kRuns);
+}
+
+TEST_P(Accounting, SingleWorkerHasNoSteals) {
+  RuntimeOptions opts;
+  opts.workers = 1;
+  opts.policy = GetParam();
+  Scheduler sched(opts);
+  sched.reset_counters();
+  (void)sched.run([] { return fib_par(16); });
+  const auto t = sched.counters().total();
+  EXPECT_EQ(t.steals, 0u);
+  EXPECT_EQ(t.migrations, 0u);
+  expect_reconciled(t, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, Accounting,
+                         ::testing::Values(SpawnPolicy::FutureFirst,
+                                           SpawnPolicy::ParentFirst),
+                         [](const auto& param_info) {
+                           return param_info.param == SpawnPolicy::FutureFirst
+                                      ? "FutureFirst"
+                                      : "ParentFirst";
+                         });
+
 TEST(Runtime, StressManySmallTasks) {
   RuntimeOptions opts;
   opts.workers = 4;

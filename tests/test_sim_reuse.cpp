@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/deviation.hpp"
 #include "graphs/registry.hpp"
+#include "sched/sequential.hpp"
 #include "sched/simulator.hpp"
 
 namespace {
@@ -89,6 +91,54 @@ TEST(SimulatorReuse, ResetLoopAllocatesFarLessThanConstruction) {
   // graph is recycled. Require a decisive gap, not a lucky margin.
   EXPECT_LT(warm_allocs * 4, fresh_allocs)
       << "warm=" << warm_allocs << " fresh=" << fresh_allocs;
+}
+
+TEST(SimulatorReuse, InPlaceBatchMatchesMovedOutResults) {
+  // run_in_place() must produce exactly what run() produces; only the
+  // ownership of the result buffers differs.
+  const auto gen = graphs::make_named("forkjoin", {.size = 7, .size2 = 4});
+  sched::SimOptions opts = counter_only_options();
+  opts.record_trace = true;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sched::SimOptions per_seed = opts;
+    per_seed.seed = seed;
+    const sched::SimResult moved = sched::simulate(gen.graph, per_seed);
+    sched::Simulator sim(gen.graph, per_seed);
+    const sched::SimResult& in_place = sim.run_in_place();
+    EXPECT_EQ(in_place.steals, moved.steals);
+    EXPECT_EQ(in_place.steps, moved.steps);
+    EXPECT_EQ(in_place.global_order, moved.global_order);
+    EXPECT_EQ(in_place.proc_orders, moved.proc_orders);
+  }
+}
+
+TEST(SimulatorReuse, BatchedReplicateLoopIsAllocationFreeAtSteadyState) {
+  // The run_replicates batch shape: one simulator arena + one deviation
+  // counter, traces on (deviation counting needs proc_orders), results
+  // read in place. After warm-up a replicate must allocate *nothing* —
+  // simulator state, result vectors, and deviation report are all
+  // recycled.
+  const auto gen = graphs::make_named("forkjoin", {.size = 7, .size2 = 4});
+  sched::SimOptions opts = counter_only_options();
+  opts.record_trace = true;
+  opts.seed = 1;
+  const sched::SeqResult seq = sched::run_sequential(gen.graph, opts);
+  sched::Simulator sim(gen.graph, opts);
+  wsf::core::DeviationCounter counter(gen.graph, seq.order);
+  std::uint64_t devs = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {  // warm-up replicates
+    if (seed != 1) sim.reset(seed);
+    devs += counter.count(sim.run_in_place().proc_orders).deviations;
+  }
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  sim.reset(4);
+  devs += counter.count(sim.run_in_place().proc_orders).deviations;
+  const std::size_t per_replicate =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_LE(per_replicate, 2u)
+      << "steady-state batched replicate allocated " << per_replicate
+      << " times";
+  EXPECT_GT(devs + 1, 0u);  // keep the loop observable
 }
 
 TEST(SimulatorReuse, ResetIsAllocationLightPerReplicate) {

@@ -105,6 +105,44 @@ void write_file(const std::filesystem::path& path,
   WSF_REQUIRE(out.good(), "write to '" << path.string() << "' failed");
 }
 
+// Side-by-side comparison of two runs (analysis::join): every identity
+// column the two row sets share becomes a join key, the compared measure
+// lands in <measure>_A / <measure>_B columns plus their ratio. This is how
+// a simulated grid is validated against the same grid executed on the real
+// work-stealing runtime (wsf-sweep --backend=runtime).
+support::Table comparison_table(const support::Table& a,
+                                const support::Table& b,
+                                const std::string& measure) {
+  std::vector<std::string> keys;
+  for (const char* cand : {"family", "size", "size2", "procs", "policy",
+                           "touch_enable", "cache_lines"})
+    if (a.has_column(cand) && b.has_column(cand)) keys.push_back(cand);
+  WSF_REQUIRE(!keys.empty(),
+              "--compare-table: the inputs share no identity columns");
+  // `backend` joins the keys only when it varies *within* an input: a
+  // --backend=both file must pair sim rows with sim rows, not
+  // cross-multiply the engines; two single-backend files (the sim-vs-
+  // runtime case) instead keep backend as the labeled backend_A/backend_B
+  // columns.
+  if (a.has_column("backend") && b.has_column("backend") &&
+      (exp::analysis::distinct(a, "backend").size() > 1 ||
+       exp::analysis::distinct(b, "backend").size() > 1))
+    keys.push_back("backend");
+  WSF_REQUIRE(a.has_column(measure) && b.has_column(measure),
+              "--compare-table: measure column '" << measure
+                  << "' missing from an input");
+  support::Table joined = exp::analysis::join(a, b, keys);
+  joined = exp::analysis::with_ratio(joined, measure + "_ratio",
+                                     measure + "_A", measure + "_B");
+  std::vector<std::string> columns = keys;
+  if (joined.has_column("backend_A")) columns.push_back("backend_A");
+  if (joined.has_column("backend_B")) columns.push_back("backend_B");
+  columns.push_back(measure + "_A");
+  columns.push_back(measure + "_B");
+  columns.push_back(measure + "_ratio");
+  return exp::analysis::select(joined, columns);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,7 +155,14 @@ int main(int argc, char** argv) {
   auto& compare = args.add_string(
       "compare", "",
       "second run to overlay: series are tagged with a run column (A = "
-      "--in, B = --compare), e.g. two scheduling policies or two commits");
+      "--in, B = --compare), e.g. a simulated grid vs the same grid on the "
+      "real runtime (wsf-sweep --backend=runtime), two policies, or two "
+      "commits");
+  auto& compare_table = args.add_string(
+      "compare-table", "",
+      "with --compare: also write a side-by-side CSV (join on the shared "
+      "identity columns; <measure>_A, <measure>_B, and their ratio) to "
+      "this path — the sim-vs-runtime validation table");
   auto& families = args.add_string(
       "families", "", "figure families to render (default: every family "
                       "present in the input)");
@@ -144,14 +189,29 @@ int main(int argc, char** argv) {
     WSF_REQUIRE(!in.value.empty(),
                 "--in is required (one or more sweep CSV/JSON/checkpoint "
                 "files)");
+    WSF_REQUIRE(compare_table.value.empty() || !compare.value.empty(),
+                "--compare-table requires --compare");
     support::Table sweep = load_all(in.value);
     if (!compare.value.empty()) {
+      const support::Table other = load_all(compare.value);
+      if (!compare_table.value.empty()) {
+        const std::string m =
+            measure.value.empty() ? "mean_deviations" : measure.value;
+        const support::Table side_by_side =
+            comparison_table(sweep, other, m);
+        write_file(std::filesystem::path(compare_table.value),
+                   side_by_side.to_csv());
+        std::fprintf(stderr,
+                     "wsf-plot: comparison table (%s), %zu joined rows -> "
+                     "%s\n",
+                     m.c_str(), side_by_side.num_rows(),
+                     compare_table.value.c_str());
+      }
       // Tag each run, then concatenate: "run" joins the series-splitting
       // axes, so every series appears once per run, labelled A/B.
       sweep = exp::analysis::with_constant(sweep, "run", "A");
       sweep = exp::analysis::concat(
-          sweep, exp::analysis::with_constant(load_all(compare.value),
-                                              "run", "B"));
+          sweep, exp::analysis::with_constant(other, "run", "B"));
     }
 
     exp::analysis::FigureOptions fig_opts;

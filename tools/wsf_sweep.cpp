@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/backend.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/sweep.hpp"
 #include "graphs/registry.hpp"
@@ -142,6 +143,13 @@ int main(int argc, char** argv) {
       "wsf-sweep — run an experiment grid (graph family × P × fork policy × "
       "touch rule × cache geometry × seeds) concurrently and emit the "
       "aggregated deviation / additional-miss / steal measures");
+  auto& backend = args.add_string(
+      "backend", "sim",
+      "execution engine: sim (deterministic ABP simulator), runtime (the "
+      "real fiber work-stealing scheduler), or both (the whole grid on "
+      "each, told apart by the backend column); runtime configurations "
+      "spawn their own P worker threads, so consider a small --threads "
+      "value when sweeping large P on the runtime");
   auto& families = args.add_string(
       "families", "fig2,fig4,fig6a,forkjoin,pipeline",
       "comma-separated construction names (" + known_families() +
@@ -241,6 +249,17 @@ int main(int argc, char** argv) {
     spec.cache_policy = cache_policy.value;
     spec.stall_prob = stall.value;
     spec.seed_base = static_cast<std::uint64_t>(seed_base.value);
+    // --backend applies to --smoke too: the CI runtime job runs the same
+    // smoke grid on the real scheduler.
+    if (backend.value == "both") {
+      spec.backends = {exp::BackendKind::Sim, exp::BackendKind::Runtime};
+    } else {
+      WSF_REQUIRE(backend.value == "sim" || backend.value == "simulator" ||
+                      backend.value == "runtime" || backend.value == "rt",
+                  "unknown --backend '" << backend.value
+                                        << "' (sim | runtime | both)");
+      spec.backends = {exp::backend_from_string(backend.value)};
+    }
 
     exp::SweepTableOptions run_opts;
     run_opts.threads = static_cast<unsigned>(threads.value);
