@@ -4,6 +4,8 @@
 // lives in the sweep runner, which executes the grid concurrently.
 #include "bench_common.hpp"
 
+#include <fstream>
+
 using namespace wsf;
 
 int main(int argc, char** argv) {
@@ -11,11 +13,25 @@ int main(int argc, char** argv) {
   auto& seeds = args.add_int("seeds", 10, "random schedules per row");
   auto& threads = args.add_int("threads", 0,
                                "sweep worker threads (0 = hardware)");
-  if (!args.parse(argc, argv)) return 0;
+  auto& format = args.add_string("format", "table", "table | csv | json");
+  auto& out = args.add_string("out", "",
+                              "write the rendered table to this file "
+                              "instead of stdout");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "bench_steal_scaling: %s\n", e.what());
+    return 2;
+  }
+  WSF_REQUIRE(format.value == "table" || format.value == "csv" ||
+                  format.value == "json",
+              "unknown --format '" << format.value
+                                   << "' (table | csv | json)");
 
-  bench::print_header(
-      "E9 — steal scaling (ABP baseline, Section 3)",
-      "mean steals / (P·T∞) stays bounded as P and the DAG grow");
+  if (format.value == "table" && out.value.empty())
+    bench::print_header(
+        "E9 — steal scaling (ABP baseline, Section 3)",
+        "mean steals / (P·T∞) stays bounded as P and the DAG grow");
 
   exp::SweepSpec spec;
   spec.graphs = {
@@ -45,6 +61,16 @@ int main(int argc, char** argv) {
         .add(steals)
         .add(steals / core::abp_steal_bound(procs, row.cell.stats.span));
   }
-  table.print("");
+  const std::string rendered = format.value == "csv"    ? table.to_csv()
+                               : format.value == "json" ? table.to_json()
+                                                        : table.to_string();
+  if (out.value.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream file(out.value);
+  WSF_REQUIRE(file.good(), "cannot open '" << out.value << "'");
+  file << rendered;
+  WSF_REQUIRE(file.good(), "write to '" << out.value << "' failed");
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "exp/backend.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "core/deviation.hpp"
 #include "core/policy.hpp"
@@ -38,15 +41,18 @@ class RuntimeBackend final : public Backend {
  public:
   BackendKind kind() const override { return BackendKind::Runtime; }
 
+  // seed_base is unused: the runtime is not deterministic per seed (real
+  // thread interleavings), and the shared scheduler's victim-selection
+  // seed is fixed at acquisition.
   SweepCell run_config(const core::Graph& g, const SweepConfig& cfg,
-                       std::uint64_t seed_base,
+                       std::uint64_t /*seed_base*/,
                        std::uint64_t seed_count) override {
     WSF_REQUIRE(seed_count >= 1, "need at least one replicate");
     const runtime::SpawnPolicy policy =
         cfg.options.policy == core::ForkPolicy::FutureFirst
             ? runtime::SpawnPolicy::FutureFirst
             : runtime::SpawnPolicy::ParentFirst;
-    ensure_scheduler(cfg.options.procs, policy, seed_base);
+    ensure_scheduler(cfg.options.procs, policy);
 
     SweepCell cell;
     cell.stats = core::compute_stats(g);
@@ -62,9 +68,13 @@ class RuntimeBackend final : public Backend {
     // and the replayer/deviation arenas; unlike the simulator the runtime
     // is not deterministic per seed — the spread across replicates is real
     // OS-scheduling variation, which is exactly what the sim-vs-runtime
-    // comparison is after.
+    // comparison is after. The scheduler is a process-shared service; the
+    // exclusive lease keeps other tenants (sweep threads measuring the
+    // same pool shape) out of this cell's per-job counter deltas.
+    std::lock_guard<std::mutex> exclusive(lease_->exclusive());
     for (std::uint64_t k = 0; k < seed_count; ++k) {
-      const runtime::ReplayResult r = replayer.run(*scheduler_, replay_opts);
+      const runtime::ReplayResult r =
+          replayer.run(lease_->scheduler(), replay_opts);
       const core::DeviationReport& deviations =
           dev_counter.count(replayer.worker_orders());
       const runtime::WorkerCounters total = r.counters.total();
@@ -84,33 +94,35 @@ class RuntimeBackend final : public Backend {
   }
 
  private:
-  /// One live scheduler, reused across replicates and across consecutive
-  /// configurations with the same (workers, policy, seed) key — the
-  /// runtime analogue of the simulator's reset arena (worker threads and
-  /// fiber stacks survive instead of being respawned per replicate).
-  void ensure_scheduler(std::uint32_t workers, runtime::SpawnPolicy policy,
-                        std::uint64_t seed) {
-    if (scheduler_ && workers == workers_ && policy == policy_ &&
-        seed == seed_)
-      return;
-    scheduler_.reset();
+  /// A lease on the process-shared long-lived scheduler for this pool
+  /// shape. Every sweep thread measuring (workers, policy) submits to the
+  /// same warm pool — live worker threads and pooled fiber stacks are
+  /// shared instead of churned per Backend — and serializes its measured
+  /// replicates through the lease's exclusive mutex so per-job counters
+  /// stay isolated. Leases held by this Backend keep their schedulers
+  /// alive for the sweep's duration; the last Backend to release drops
+  /// them.
+  void ensure_scheduler(std::uint32_t workers, runtime::SpawnPolicy policy) {
+    if (lease_ && workers == workers_ && policy == policy_) return;
     runtime::RuntimeOptions opts;
     opts.workers = workers;
     opts.policy = policy;
-    opts.seed = seed;
     // Replay thread bodies are a flat loop (no user recursion), so a small
     // stack keeps many concurrently-live fibers cheap.
     opts.stack_bytes = 128 * 1024;
-    scheduler_ = std::make_unique<runtime::Scheduler>(opts);
+    lease_ = runtime::SharedScheduler::acquire(opts);
+    if (std::find(held_.begin(), held_.end(), lease_) == held_.end())
+      held_.push_back(lease_);
     workers_ = workers;
     policy_ = policy;
-    seed_ = seed;
   }
 
-  std::unique_ptr<runtime::Scheduler> scheduler_;
+  std::shared_ptr<runtime::SharedScheduler> lease_;
+  /// Keeps every pool shape this Backend used alive until the Backend
+  /// dies, so a grid alternating shapes does not restart schedulers.
+  std::vector<std::shared_ptr<runtime::SharedScheduler>> held_;
   std::uint32_t workers_ = 0;
   runtime::SpawnPolicy policy_ = runtime::SpawnPolicy::FutureFirst;
-  std::uint64_t seed_ = 0;
 };
 
 }  // namespace

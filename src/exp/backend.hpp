@@ -16,7 +16,11 @@
 // from ever merging silently.
 //
 // A Backend instance is not thread-safe: run_sweep creates one per worker
-// thread (the RuntimeBackend caches a live Scheduler between calls).
+// thread. The RuntimeBackend does not own schedulers — it leases the
+// process-shared long-lived runtime::SharedScheduler for each pool shape
+// (workers × policy) and serializes its measured replicates through the
+// lease's exclusive mutex, so N sweep threads share warm pools instead of
+// churning one scheduler each.
 #pragma once
 
 #include <cstdint>

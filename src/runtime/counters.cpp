@@ -53,6 +53,13 @@ WorkerCounters& WorkerCounters::operator-=(const WorkerCounters& o) {
   return *this;
 }
 
+WorkerCounters counters_since(const WorkerCounters& live,
+                              const WorkerCounters& baseline) {
+  WorkerCounters delta = live;
+  delta -= baseline;
+  return delta;
+}
+
 WorkerCounters CountersReport::total() const {
   WorkerCounters t;
   for (const auto& w : per_worker) t += w;

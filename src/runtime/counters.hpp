@@ -115,6 +115,13 @@ struct alignas(64) WorkerCounters {
   WorkerCounters& operator-=(const WorkerCounters& o);
 };
 
+/// live − baseline, field-wise saturating — the delta of one measurement
+/// window (a job, a bench phase) against a snapshot taken at its start.
+/// The per-job counter reports the scheduler attaches to JobHandles are
+/// built from this, one call per worker.
+WorkerCounters counters_since(const WorkerCounters& live,
+                              const WorkerCounters& baseline);
+
 /// Aggregates and pretty-prints a set of worker counters.
 struct CountersReport {
   std::vector<WorkerCounters> per_worker;

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 namespace wsf::runtime {
@@ -61,9 +63,31 @@ void Worker::main_loop() {
     if (sched_.stop_.load(std::memory_order_acquire)) break;
     if (++idle_spins < 64) {
       std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
     }
+    // Park. Read the admission epoch, re-check for work (an admission
+    // between the miss above and the wait would otherwise be slept
+    // through; bumping the epoch under idle_mutex_ closes the remaining
+    // window), then wait until the epoch moves, stop is requested, or a
+    // timeout re-arms the steal loop — work pushed onto a peer's deque
+    // does not bump the epoch, so sleepers must still poll for steals.
+    const std::uint64_t epoch =
+        sched_.work_epoch_.load(std::memory_order_acquire);
+    if ((job = find_work()) != nullptr) {
+      idle_spins = 0;
+      execute(job);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(sched_.idle_mutex_);
+      sched_.idle_cv_.wait_for(
+          lock, std::chrono::microseconds(100), [&] {
+            return sched_.work_epoch_.load(std::memory_order_acquire) !=
+                       epoch ||
+                   sched_.stop_.load(std::memory_order_acquire);
+          });
+    }
+    idle_spins = 0;
   }
   tl_worker = nullptr;
 }
@@ -73,7 +97,7 @@ Job* Worker::find_work() {
     counters_.local_pops++;
     return j;
   }
-  if (Job* j = sched_.take_injected()) {
+  if (Job* j = sched_.take_injected(*this)) {
     counters_.inbox_takes++;
     return j;
   }
@@ -91,44 +115,45 @@ Job* Worker::find_work() {
 
 Fiber* Worker::acquire_fiber(support::MoveOnlyFunction<void()> body) {
   auto wrapped = [body = std::move(body)](Fiber&) mutable { body(); };
+  std::unique_ptr<Fiber> f;
   if (!fiber_pool_.empty()) {
-    std::unique_ptr<Fiber> f = std::move(fiber_pool_.back());
+    f = std::move(fiber_pool_.back());
     fiber_pool_.pop_back();
+  } else {
+    f = sched_.take_free_fiber();
+  }
+  if (f) {
     f->rebind(std::move(wrapped));
     counters_.stacks_reused++;
-    Fiber* raw = f.get();
-    live_fibers_.push_back(std::move(f));
-    return raw;
+    return f.release();
   }
   counters_.fibers_created++;
-  auto f = std::make_unique<Fiber>(std::move(wrapped), stack_bytes_);
-  Fiber* raw = f.get();
-  live_fibers_.push_back(std::move(f));
-  return raw;
+  return new Fiber(std::move(wrapped), stack_bytes_);
 }
 
 void Worker::recycle(Fiber* f) {
-  // Move the finished fiber from the live set into the pool. The fiber may
-  // have been created by a different worker (migration); ownership follows
-  // the finisher, so search both this worker's live set and, failing that,
-  // adopt it (the creating worker keeps the unique_ptr; transferring
-  // ownership across workers would race). To keep this simple and safe, a
-  // fiber is recycled only by its creating worker; others leave it to be
-  // garbage-collected at shutdown.
-  for (std::size_t i = 0; i < live_fibers_.size(); ++i) {
-    if (live_fibers_[i].get() == f) {
-      std::unique_ptr<Fiber> owned = std::move(live_fibers_[i]);
-      live_fibers_[i] = std::move(live_fibers_.back());
-      live_fibers_.pop_back();
-      fiber_pool_.push_back(std::move(owned));
-      return;
-    }
+  // Ownership follows the finisher: whichever worker ran the fiber to
+  // completion pools its stack. (The previous design kept ownership with
+  // the *creating* worker, so a fiber that finished elsewhere after a
+  // migration was never recycled and its stack lived until scheduler
+  // shutdown — unbounded growth under a sustained job stream.) A small
+  // local cache keeps the common case lock-free; everything beyond it
+  // goes to the scheduler-wide free list so one worker cannot strand
+  // stacks the others need.
+  constexpr std::size_t kLocalFiberCache = 2;
+  std::unique_ptr<Fiber> owned(f);
+  if (fiber_pool_.size() < kLocalFiberCache) {
+    fiber_pool_.push_back(std::move(owned));
+    return;
   }
-  // Not ours: the creating worker still holds it in live_fibers_; it will
-  // be freed at scheduler shutdown.
+  sched_.push_free_fiber(std::move(owned));
 }
 
 void Worker::execute(Job* job) {
+  // Everything the work item does — spawns, parks, wakes, handoffs — is
+  // charged to its job: those edges never cross job boundaries (futures
+  // are touched within the job that spawned them).
+  current_job_ = std::move(job->job);
   Fiber* f = nullptr;
   if (job->kind == Job::Kind::Fresh) {
     counters_.tasks_run++;
@@ -159,7 +184,7 @@ void Worker::run_fiber(Fiber* f) {
     // scheduler context never migrates.
     Fiber* next = nullptr;
     if (f->finished()) {
-      sched_.task_finished();
+      sched_.task_finished(*current_job_);
       next = take_handoff();
       recycle(f);
     } else {
@@ -170,8 +195,10 @@ void Worker::run_fiber(Fiber* f) {
         // Now that the fiber is truly suspended, make its continuation
         // stealable, then run the fresh child (future-first spawn) or the
         // handed-off waiter (touch-first yield).
-        auto* resume = new Job{Job::Kind::Resume, {},
-                               std::exchange(pending_continuation_, nullptr)};
+        auto* resume =
+            new Job{Job::Kind::Resume, {},
+                    std::exchange(pending_continuation_, nullptr),
+                    current_job_};
         deque_.push_bottom(resume);
         counters_.continuations_pushed++;
         if (pending_child_) {
@@ -208,7 +235,8 @@ void Worker::publish_pending_park() {
 }
 
 void Worker::spawn_future_first(Fiber& parent, std::unique_ptr<Job> child) {
-  sched_.task_started();
+  child->job = current_job_;
+  sched_.task_started(*current_job_);
   pending_child_ = std::move(child);
   pending_continuation_ = &parent;
   parent.suspend();
@@ -217,7 +245,8 @@ void Worker::spawn_future_first(Fiber& parent, std::unique_ptr<Job> child) {
 }
 
 void Worker::spawn_parent_first(std::unique_ptr<Job> child) {
-  sched_.task_started();
+  child->job = current_job_;
+  sched_.task_started(*current_job_);
   deque_.push_bottom(child.release());
 }
 
@@ -233,7 +262,7 @@ void Worker::set_handoff(Fiber* f) {
 }
 
 void Worker::push_resume(Fiber* f) {
-  deque_.push_bottom(new Job{Job::Kind::Resume, {}, f});
+  deque_.push_bottom(new Job{Job::Kind::Resume, {}, f, current_job_});
   counters_.wakes_pushed++;
 }
 
@@ -265,54 +294,203 @@ Scheduler::Scheduler(const RuntimeOptions& opts) : opts_(opts) {
 }
 
 Scheduler::~Scheduler() {
-  stop_.store(true, std::memory_order_release);
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_.store(true, std::memory_order_release);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
   for (auto& t : threads_) t.join();
-  // Any jobs left in the inbox (none, if every run() completed) leak
-  // nothing: quiescence guarantees an empty inbox here.
+  // drain() emptied the inbox; defensive cleanup if a job was admitted
+  // concurrently with destruction (a contract violation).
   for (detail::Job* j : inbox_) delete j;
 }
 
-void Scheduler::inject(std::unique_ptr<detail::Job> job) {
-  task_started();
-  std::lock_guard<std::mutex> lock(inbox_mutex_);
-  inbox_.push_back(job.release());
-}
-
-detail::Job* Scheduler::take_injected() {
-  std::lock_guard<std::mutex> lock(inbox_mutex_);
-  if (inbox_.empty()) return nullptr;
-  detail::Job* j = inbox_.back();
-  inbox_.pop_back();
-  return j;
-}
-
-void Scheduler::task_finished() {
-  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(quiescent_mutex_);
-    quiescent_cv_.notify_all();
+std::shared_ptr<detail::JobState> Scheduler::make_job_state(
+    const JobOptions& opts) {
+  auto js = std::make_shared<detail::JobState>();
+  js->submitted = std::chrono::steady_clock::now();
+  if (opts.counters) {
+    js->want_counters = true;
+    js->baseline.reserve(workers_.size());
+    for (const auto& w : workers_) js->baseline.push_back(w->counters());
   }
+  return js;
 }
 
-void Scheduler::wait_quiescent() {
+void Scheduler::inject(std::unique_ptr<detail::Job> job) {
+  jobs_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    inbox_.push_back(job.release());
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+}
+
+void Scheduler::submit(Batch&& batch) {
+  WSF_REQUIRE(batch.sched_ == this,
+              "batch was staged for a different scheduler");
+  if (batch.staged_.empty()) return;
+  jobs_in_flight_.fetch_add(batch.staged_.size(),
+                            std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    for (auto& job : batch.staged_) inbox_.push_back(job.release());
+  }
+  batch.staged_.clear();
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+}
+
+void Scheduler::abandon(std::unique_ptr<detail::Job> job) {
+  // Staged but never admitted (its Batch was destroyed): jobs_in_flight_
+  // was never incremented. Mark the job done so its handle's wait()
+  // returns — and throws, because the future state is unfulfilled.
+  std::shared_ptr<detail::JobState> js = std::move(job->job);
+  job.reset();
+  {
+    std::lock_guard<std::mutex> lock(quiescent_mutex_);
+    js->done.store(true, std::memory_order_release);
+  }
+  quiescent_cv_.notify_all();
+}
+
+detail::Job* Scheduler::take_injected(detail::Worker& taker) {
+  constexpr std::size_t kAdmitBatch = 4;
+  detail::Job* first = nullptr;
+  detail::Job* extras[kAdmitBatch - 1];
+  std::size_t n_extras = 0;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    if (inbox_.empty()) return nullptr;
+    first = inbox_.front();
+    inbox_.pop_front();
+    while (n_extras + 1 < kAdmitBatch && !inbox_.empty()) {
+      extras[n_extras++] = inbox_.front();
+      inbox_.pop_front();
+    }
+  }
+  // The extras become ordinary deque work (stealable); their acquisition
+  // is counted when they are popped or stolen, so the work-accounting
+  // identities still see exactly one source per job. Push newest first:
+  // LIFO pops then run them oldest-first after `first`.
+  for (std::size_t i = n_extras; i > 0; --i)
+    taker.deque().push_bottom(extras[i - 1]);
+  return first;
+}
+
+void Scheduler::task_finished(detail::JobState& js) {
+  if (js.outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    complete_job(js);
+}
+
+void Scheduler::complete_job(detail::JobState& js) {
+  js.latency_us.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - js.submitted)
+              .count()),
+      std::memory_order_relaxed);
+  if (js.want_counters) {
+    // The acq_rel fetch_sub chain on js.outstanding ordered every event of
+    // the job before this read, so the delta is complete.
+    js.delta.per_worker.clear();
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      js.delta.per_worker.push_back(
+          counters_since(workers_[i]->counters(), js.baseline[i]));
+  }
+  {
+    std::lock_guard<std::mutex> lock(quiescent_mutex_);
+    js.done.store(true, std::memory_order_release);
+    jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  quiescent_cv_.notify_all();
+}
+
+void Scheduler::wait_job(detail::JobState& js) {
+  if (js.done.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lock(quiescent_mutex_);
+  quiescent_cv_.wait(lock, [&js] {
+    return js.done.load(std::memory_order_acquire);
+  });
+}
+
+void Scheduler::drain() {
   std::unique_lock<std::mutex> lock(quiescent_mutex_);
   quiescent_cv_.wait(lock, [this] {
-    return outstanding_.load(std::memory_order_acquire) == 0;
+    return jobs_in_flight_.load(std::memory_order_acquire) == 0;
   });
+}
+
+void Scheduler::prewarm(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    push_free_fiber(
+        std::make_unique<Fiber>([](Fiber&) {}, opts_.stack_bytes));
+}
+
+void Scheduler::push_free_fiber(std::unique_ptr<Fiber> f) {
+  std::lock_guard<std::mutex> lock(fiber_free_mutex_);
+  fiber_free_.push_back(std::move(f));
+}
+
+std::unique_ptr<Fiber> Scheduler::take_free_fiber() {
+  std::lock_guard<std::mutex> lock(fiber_free_mutex_);
+  if (fiber_free_.empty()) return nullptr;
+  std::unique_ptr<Fiber> f = std::move(fiber_free_.back());
+  fiber_free_.pop_back();
+  return f;
 }
 
 CountersReport Scheduler::counters() const {
   CountersReport report;
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    WorkerCounters since = workers_[i]->counters();
-    since -= baseline_[i];
-    report.per_worker.push_back(since);
-  }
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    report.per_worker.push_back(
+        counters_since(workers_[i]->counters(), baseline_[i]));
   return report;
 }
 
 void Scheduler::reset_counters() {
   for (std::size_t i = 0; i < workers_.size(); ++i)
     baseline_[i] = workers_[i]->counters();
+}
+
+std::shared_ptr<SharedScheduler> SharedScheduler::acquire(
+    const RuntimeOptions& opts) {
+  struct Key {
+    std::uint32_t workers;
+    SpawnPolicy policy;
+    std::size_t stack_bytes;
+    bool operator<(const Key& o) const {
+      return std::tie(workers, policy, stack_bytes) <
+             std::tie(o.workers, o.policy, o.stack_bytes);
+    }
+  };
+  static std::mutex registry_mutex;
+  static std::map<Key, std::weak_ptr<SharedScheduler>> registry;
+
+  RuntimeOptions resolved = opts;
+  if (resolved.workers == 0)
+    resolved.workers = std::max(1u, std::thread::hardware_concurrency());
+  const Key key{resolved.workers, resolved.policy, resolved.stack_bytes};
+
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto it = registry.find(key);
+  if (it != registry.end())
+    if (std::shared_ptr<SharedScheduler> live = it->second.lock())
+      return live;
+  std::shared_ptr<SharedScheduler> fresh(new SharedScheduler(resolved));
+  registry[key] = fresh;
+  for (auto i = registry.begin(); i != registry.end();)
+    i = i->second.expired() ? registry.erase(i) : std::next(i);
+  return fresh;
 }
 
 }  // namespace wsf::runtime

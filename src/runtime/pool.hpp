@@ -13,19 +13,39 @@
 // Every task runs on its own fiber (pooled stacks), so continuations are
 // first-class and can be stolen like any other work item.
 //
-// Usage:
+// The scheduler is a long-lived service: worker threads start once and then
+// serve a *stream* of jobs. A job is one root closure plus everything it
+// spawns; each job's completion is tracked independently (per-job
+// outstanding-task count), so concurrent submitters never wait on each
+// other's work. Admission goes through a FIFO inbox; idle workers park on a
+// condition variable and are woken by admission, so a pool of idle
+// schedulers costs ~no CPU.
+//
+// One-shot usage (unchanged):
 //   Scheduler sched({.workers = 4, .policy = SpawnPolicy::FutureFirst});
 //   int r = sched.run([] {
 //     auto f = spawn([] { return heavy(); });   // Future<int>
 //     int local = other_work();
 //     return f.touch() + local;
 //   });
+//
+// Service usage:
+//   auto h1 = sched.submit([] { return job_a(); });
+//   auto h2 = sched.submit([] { return job_b(); });   // runs concurrently
+//   use(h1.wait(), h2.wait());
+//
+// Reuse contract: submit()/run() may be called from any thread that is not
+// a worker (use spawn() from inside a task); futures spawned by a job must
+// be touched within that job; the destructor drains in-flight jobs before
+// stopping the workers.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -66,16 +86,47 @@ struct RuntimeOptions {
 };
 
 class Scheduler;
+class Batch;
+
+/// Per-job knobs passed at submission.
+struct JobOptions {
+  /// Snapshot every worker's counters at admission and report the job's
+  /// delta through JobHandle::counters(). The delta is exact (and satisfies
+  /// the WorkerCounters reconciliation identities) when the job had the
+  /// scheduler to itself; with concurrent tenants it includes their events
+  /// too. Costs one per-worker snapshot per job — leave off on hot
+  /// admission paths.
+  bool counters = false;
+};
 
 namespace detail {
 
+/// Completion state of one submitted job (a root closure plus everything
+/// it spawned). Shared between the submitting thread's JobHandle and every
+/// work item belonging to the job.
+struct JobState {
+  /// Tasks of this job not yet finished (the root counts as one).
+  std::atomic<std::uint64_t> outstanding{1};
+  std::atomic<bool> done{false};
+  bool want_counters = false;
+  std::chrono::steady_clock::time_point submitted{};
+  /// Admission-to-completion latency, stamped at completion.
+  std::atomic<std::uint64_t> latency_us{0};
+  /// Per-worker counter values at admission (want_counters only).
+  std::vector<WorkerCounters> baseline;
+  /// live − baseline at completion (want_counters only).
+  CountersReport delta;
+};
+
 /// A unit of deque work: either a fresh task (closure not yet started) or a
-/// suspended fiber to resume.
+/// suspended fiber to resume. Every work item belongs to a job, whose
+/// completion it keeps alive.
 struct Job {
   enum class Kind : std::uint8_t { Fresh, Resume };
   Kind kind;
   support::MoveOnlyFunction<void()> run;  // Fresh
   Fiber* fiber = nullptr;     // Resume
+  std::shared_ptr<JobState> job;
 };
 
 class Worker {
@@ -137,8 +188,14 @@ class Worker {
   Fiber* pending_continuation_ = nullptr;
   FutureStateBase* pending_park_state_ = nullptr;
   Fiber* pending_park_fiber_ = nullptr;
+  /// The job whose work item execute() is currently running. Every edge a
+  /// running fiber creates (spawned children, pushed continuations, parked
+  /// wakes, handoffs) stays within its own job — futures never cross job
+  /// boundaries — so the whole run_fiber chain charges this job.
+  std::shared_ptr<JobState> current_job_;
+  /// Small same-thread stack cache; overflow goes to the scheduler-wide
+  /// free list so one worker cannot strand stacks other workers need.
   std::vector<std::unique_ptr<Fiber>> fiber_pool_;
-  std::vector<std::unique_ptr<Fiber>> live_fibers_;
 };
 
 /// The worker the calling thread belongs to, nullptr outside the pool.
@@ -151,6 +208,51 @@ Fiber* current_fiber() noexcept;
 
 }  // namespace detail
 
+/// Completion handle of one submitted job. Move-only; wait() may be called
+/// once (for non-void R it consumes the value). done()/latency_us() are
+/// valid anytime; counters() after completion, when the job was submitted
+/// with JobOptions{.counters = true}.
+template <typename R>
+class JobHandle {
+ public:
+  JobHandle() = default;
+  JobHandle(JobHandle&&) noexcept = default;
+  JobHandle& operator=(JobHandle&&) noexcept = default;
+
+  bool valid() const { return job_ != nullptr; }
+  bool done() const {
+    return job_ && job_->done.load(std::memory_order_acquire);
+  }
+  /// Blocks until the job (root + everything it spawned) completes, then
+  /// returns the root's result or rethrows its exception. Throws if the
+  /// job was abandoned (its Batch was destroyed before submission).
+  R wait();
+  /// Admission-to-completion wall time; valid once done().
+  std::uint64_t latency_us() const {
+    WSF_REQUIRE(job_ != nullptr, "latency_us() on an empty JobHandle");
+    return job_->latency_us.load(std::memory_order_acquire);
+  }
+  /// The job's counter delta; valid once done(), requires
+  /// JobOptions{.counters = true} at submission.
+  const CountersReport& counters() const {
+    WSF_REQUIRE(job_ && job_->want_counters,
+                "counters() needs JobOptions{.counters = true}");
+    WSF_REQUIRE(done(), "counters() before the job completed");
+    return job_->delta;
+  }
+
+ private:
+  friend class Scheduler;
+  friend class Batch;
+  JobHandle(Scheduler* sched, std::shared_ptr<detail::FutureState<R>> state,
+            std::shared_ptr<detail::JobState> job)
+      : sched_(sched), state_(std::move(state)), job_(std::move(job)) {}
+
+  Scheduler* sched_ = nullptr;
+  std::shared_ptr<detail::FutureState<R>> state_;
+  std::shared_ptr<detail::JobState> job_;
+};
+
 class Scheduler {
  public:
   explicit Scheduler(const RuntimeOptions& opts = {});
@@ -159,23 +261,45 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Runs `root` to completion inside the pool and returns its result. Also
-  /// waits for all side-effect tasks (futures never touched) to finish —
-  /// the runtime analogue of the paper's super final node (§6.2). May be
-  /// called repeatedly (not concurrently).
+  /// Admits `root` as a new job and returns immediately. The job completes
+  /// when the root and every task it spawned have finished (futures never
+  /// touched included — the runtime analogue of the paper's super final
+  /// node, §6.2). Safe to call from several threads concurrently; must not
+  /// be called from a worker (use spawn() inside tasks).
   template <typename F>
-  auto run(F&& root) -> std::invoke_result_t<F> {
+  auto submit(F&& root, const JobOptions& opts = {})
+      -> JobHandle<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto state = std::make_shared<detail::FutureState<R>>();
-    inject(make_job(state, std::forward<F>(root)));
-    wait_quiescent();
-    WSF_CHECK(state->ready(), "root task did not complete");
-    if (state->error) std::rethrow_exception(state->error);
-    if constexpr (!std::is_void_v<R>) {
-      state->taken = true;
-      return state->take();
-    }
+    auto job = make_job(state, std::forward<F>(root));
+    std::shared_ptr<detail::JobState> js = make_job_state(opts);
+    job->job = js;
+    inject(std::move(job));
+    return JobHandle<R>(this, std::move(state), std::move(js));
   }
+
+  /// Runs `root` to completion inside the pool and returns its result —
+  /// submit() + wait(). May be called repeatedly and, because completion is
+  /// tracked per job, concurrently from several submitter threads.
+  template <typename F>
+  auto run(F&& root) -> std::invoke_result_t<F> {
+    return submit(std::forward<F>(root)).wait();
+  }
+
+  /// Admits every job staged in `batch` with one queue operation and one
+  /// worker wake — the cheap way to push thousands of small jobs.
+  void submit(Batch&& batch);
+
+  /// Blocks until no job is in flight. (New submissions admitted while
+  /// draining extend the wait.)
+  void drain();
+
+  /// Pre-provisions `count` fiber stacks into the scheduler-wide free
+  /// list — capacity planning for a known admission burst, so a load run
+  /// reaches zero steady-state stack allocation deterministically instead
+  /// of relying on warmup having touched the peak. Acquiring a prewarmed
+  /// stack counts as stacks_reused; prewarming itself counts nothing.
+  void prewarm(std::size_t count);
 
   SpawnPolicy policy() const { return opts_.policy; }
   std::uint32_t num_workers() const {
@@ -188,6 +312,7 @@ class Scheduler {
   /// Rebaselines the counters so subsequent counters() calls report only
   /// events from here on. Implemented as a baseline snapshot, not a write
   /// to the live cells: workers stay the sole writers of their counters.
+  /// Scheduler-wide — for per-job deltas use JobOptions{.counters = true}.
   void reset_counters();
 
   /// Wraps a closure and its future state into a fresh deque job. Exposed
@@ -218,15 +343,34 @@ class Scheduler {
 
  private:
   friend class detail::Worker;
+  friend class Batch;
+  template <typename R>
+  friend class JobHandle;
 
+  /// Allocates the completion state for a new job (stamps the admission
+  /// time; snapshots counter baselines when opts.counters).
+  std::shared_ptr<detail::JobState> make_job_state(const JobOptions& opts);
   void inject(std::unique_ptr<detail::Job> job);
-  void wait_quiescent();
-  detail::Job* take_injected();
+  /// Pops the oldest injected job; pulls a few more into the calling
+  /// worker's deque (admission batching) so a burst of tiny jobs does not
+  /// serialize on the inbox lock.
+  detail::Job* take_injected(detail::Worker& taker);
+  /// Marks a staged-but-never-admitted job completed-without-running so
+  /// its handle's wait() throws instead of hanging.
+  void abandon(std::unique_ptr<detail::Job> job);
 
-  void task_started() {
-    outstanding_.fetch_add(1, std::memory_order_relaxed);
+  void task_started(detail::JobState& js) {
+    js.outstanding.fetch_add(1, std::memory_order_relaxed);
   }
-  void task_finished();
+  void task_finished(detail::JobState& js);
+  void complete_job(detail::JobState& js);
+  void wait_job(detail::JobState& js);
+
+  /// Fiber-stack free list shared by all workers: recycled stacks beyond a
+  /// worker's small local cache land here, so steady-state load re-uses
+  /// stacks instead of growing per-worker pools.
+  void push_free_fiber(std::unique_ptr<Fiber> f);
+  std::unique_ptr<Fiber> take_free_fiber();
 
   RuntimeOptions opts_;
   std::vector<std::unique_ptr<detail::Worker>> workers_;
@@ -234,13 +378,99 @@ class Scheduler {
   std::vector<WorkerCounters> baseline_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
-  std::atomic<std::uint64_t> outstanding_{0};
+  /// Jobs admitted and not yet completed (drain()'s condition).
+  std::atomic<std::uint64_t> jobs_in_flight_{0};
 
   std::mutex inbox_mutex_;
-  std::vector<detail::Job*> inbox_;
+  std::deque<detail::Job*> inbox_;  // FIFO: jobs run in admission order
 
+  /// Idle workers park here; admission bumps the epoch and notifies. The
+  /// epoch closes the race between a worker's last find_work() miss and
+  /// its wait: an admission between the two changes the epoch the worker
+  /// read before re-checking, so the wait predicate is already true.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+
+  std::mutex fiber_free_mutex_;
+  std::vector<std::unique_ptr<Fiber>> fiber_free_;
+
+  /// Serves JobHandle::wait() and drain(). Completion events are rare
+  /// (once per job), so one scheduler-wide cv is enough.
   std::mutex quiescent_mutex_;
   std::condition_variable quiescent_cv_;
+};
+
+/// Stages jobs for a single admission: handles are live immediately, the
+/// jobs start running when the batch is passed to Scheduler::submit. A
+/// batch destroyed without being submitted abandons its jobs — their
+/// handles' wait() throws.
+class Batch {
+ public:
+  explicit Batch(Scheduler& sched) : sched_(&sched) {}
+  ~Batch() {
+    for (auto& job : staged_) sched_->abandon(std::move(job));
+  }
+  Batch(Batch&&) noexcept = default;
+  Batch& operator=(Batch&&) = delete;
+  Batch(const Batch&) = delete;
+  Batch& operator=(const Batch&) = delete;
+
+  template <typename F>
+  auto add(F&& root, const JobOptions& opts = {})
+      -> JobHandle<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto state = std::make_shared<detail::FutureState<R>>();
+    auto job = Scheduler::make_job(state, std::forward<F>(root));
+    std::shared_ptr<detail::JobState> js = sched_->make_job_state(opts);
+    job->job = js;
+    staged_.push_back(std::move(job));
+    return JobHandle<R>(sched_, std::move(state), std::move(js));
+  }
+
+  std::size_t size() const { return staged_.size(); }
+  Scheduler& scheduler() { return *sched_; }
+
+ private:
+  friend class Scheduler;
+  Scheduler* sched_;
+  std::vector<std::unique_ptr<detail::Job>> staged_;
+};
+
+template <typename R>
+R JobHandle<R>::wait() {
+  WSF_REQUIRE(job_ != nullptr, "wait() on an empty JobHandle");
+  sched_->wait_job(*job_);
+  WSF_CHECK(state_->ready(),
+            "job did not complete (batch abandoned before submit?)");
+  if (state_->error) std::rethrow_exception(state_->error);
+  if constexpr (!std::is_void_v<R>) {
+    state_->taken = true;
+    return state_->take();
+  }
+}
+
+/// A process-wide, reference-counted lease on a long-lived Scheduler.
+/// acquire() returns the live scheduler for (resolved worker count, policy,
+/// stack size) or starts one; the scheduler dies when the last lease drops.
+/// This is how independent components (e.g. the sweep backend's worker
+/// threads) share one warm pool instead of churning a scheduler each.
+/// RuntimeOptions::seed is deliberately not part of the key: it only
+/// perturbs victim selection, and the runtime is not deterministic per seed
+/// anyway (unlike the simulator).
+class SharedScheduler {
+ public:
+  static std::shared_ptr<SharedScheduler> acquire(const RuntimeOptions& opts);
+
+  Scheduler& scheduler() { return sched_; }
+  /// Hold while per-job counter deltas must be free of other tenants'
+  /// events (JobOptions::counters is exact only in isolation).
+  std::mutex& exclusive() { return exclusive_; }
+
+ private:
+  explicit SharedScheduler(const RuntimeOptions& opts) : sched_(opts) {}
+  Scheduler sched_;
+  std::mutex exclusive_;
 };
 
 /// Spawns `fn` as a future task under the scheduler's policy. Must be

@@ -129,10 +129,14 @@ void GraphReplayer::run_thread(core::ThreadId tid) {
   }
 }
 
-ReplayResult GraphReplayer::run(Scheduler& sched, const ReplayOptions& opts) {
+void GraphReplayer::prepare(std::uint32_t workers,
+                            const ReplayOptions& opts) {
+  WSF_REQUIRE(!handle_.valid(),
+              "GraphReplayer: a run is already in flight (collect() it "
+              "first; one run at a time per replayer)");
   const std::size_t n = g_.num_nodes();
-  const std::uint32_t workers = sched.num_workers();
   touch_first_ = opts.touch_enable == sched::TouchEnable::TouchFirst;
+  job_counters_ = opts.job_counters;
   orders_.resize(workers);
   for (auto& order : orders_) {
     order.clear();
@@ -143,22 +147,40 @@ ReplayResult GraphReplayer::run(Scheduler& sched, const ReplayOptions& opts) {
   for (std::size_t v = 0; v < n; ++v)
     executed_[v].store(0, std::memory_order_relaxed);
   premature_.store(0, std::memory_order_relaxed);
+}
 
-  sched.reset_counters();
-  const auto t0 = std::chrono::steady_clock::now();
-  sched.run([this] { run_thread(g_.thread_of(g_.root())); });
-  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - t0);
+void GraphReplayer::submit(Scheduler& sched, const ReplayOptions& opts) {
+  prepare(sched.num_workers(), opts);
+  handle_ = sched.submit([this] { run_thread(g_.thread_of(g_.root())); },
+                         {.counters = opts.job_counters});
+}
+
+void GraphReplayer::stage(Batch& batch, const ReplayOptions& opts) {
+  prepare(batch.scheduler().num_workers(), opts);
+  handle_ = batch.add([this] { run_thread(g_.thread_of(g_.root())); },
+                      {.counters = opts.job_counters});
+}
+
+ReplayResult GraphReplayer::collect() {
+  WSF_REQUIRE(handle_.valid(), "collect() without a submitted run");
+  JobHandle<void> handle = std::move(handle_);
+  handle.wait();
 
   std::size_t executed = 0;
   for (const auto& order : orders_) executed += order.size();
-  WSF_CHECK(executed == n, "runtime replay executed " << executed << " of "
-                                                      << n << " nodes");
+  WSF_CHECK(executed == g_.num_nodes(),
+            "runtime replay executed " << executed << " of " << g_.num_nodes()
+                                       << " nodes");
   ReplayResult result;
-  result.counters = sched.counters();
+  if (job_counters_) result.counters = handle.counters();
   result.premature_touches = premature_.load(std::memory_order_relaxed);
-  result.wall_us = static_cast<std::uint64_t>(wall.count());
+  result.wall_us = handle.latency_us();
   return result;
+}
+
+ReplayResult GraphReplayer::run(Scheduler& sched, const ReplayOptions& opts) {
+  submit(sched, opts);
+  return collect();
 }
 
 ReplayResult replay_graph(Scheduler& sched, const core::Graph& g,

@@ -40,19 +40,25 @@ struct ReplayOptions {
   /// Producer-side choice when a publish finds a parked consumer and the
   /// producer still has a continuation of its own (sched/options.hpp).
   sched::TouchEnable touch_enable = sched::TouchEnable::TouchFirst;
+  /// Ask the scheduler for a per-job counter snapshot and report the job's
+  /// delta in ReplayResult::counters. Exact when the replay has the
+  /// scheduler to itself (the sweep backend holds an exclusive lease);
+  /// leave off on hot admission paths (wsf-load) where per-job baselines
+  /// would both allocate and blur across tenants.
+  bool job_counters = true;
 };
 
 /// Measures of one replay run. The per-worker node orders live in the
 /// GraphReplayer (worker_orders()) so replicate loops can reuse their
 /// allocations.
 struct ReplayResult {
-  /// Counters accumulated by this run only (the replayer rebaselines the
-  /// scheduler's counters before executing).
+  /// This job's counter delta (empty when ReplayOptions::job_counters is
+  /// off).
   CountersReport counters;
   /// Touches reached before the fork spawning their future thread executed
   /// (the Figure 3 hazard; 0 for structured computations).
   std::uint64_t premature_touches = 0;
-  /// Wall time of the run, microseconds.
+  /// Admission-to-completion wall time of the job, microseconds.
   std::uint64_t wall_us = 0;
 };
 
@@ -63,10 +69,18 @@ class GraphReplayer {
  public:
   explicit GraphReplayer(const core::Graph& g);
 
-  /// Executes the whole DAG on `sched` and returns the run's measures.
-  /// Resets the scheduler's counter baseline. Not reentrant: one run at a
-  /// time per replayer (the scheduler itself already requires this).
+  /// Executes the whole DAG on `sched` and returns the run's measures —
+  /// submit() + collect(). Not reentrant: one run at a time per replayer
+  /// (several replayers may share one scheduler concurrently).
   ReplayResult run(Scheduler& sched, const ReplayOptions& opts = {});
+
+  /// Admits the replay as one scheduler job and returns immediately.
+  void submit(Scheduler& sched, const ReplayOptions& opts = {});
+  /// Stages the replay into `batch` (admitted when the batch is submitted).
+  void stage(Batch& batch, const ReplayOptions& opts = {});
+  /// Blocks until the job admitted by submit()/stage() completes and
+  /// returns its measures.
+  ReplayResult collect();
 
   /// Node sequences per worker recorded by the last run(), in execution
   /// order; concatenated they cover every node exactly once. Valid until
@@ -76,6 +90,9 @@ class GraphReplayer {
   }
 
  private:
+  /// Resets the arenas for a fresh run on a scheduler with `workers`
+  /// workers.
+  void prepare(std::uint32_t workers, const ReplayOptions& opts);
   void run_thread(core::ThreadId tid);
   void wait_gates(core::NodeId v);
   void record(core::NodeId v);
@@ -97,6 +114,8 @@ class GraphReplayer {
   std::vector<std::vector<core::NodeId>> orders_;
   std::atomic<std::uint64_t> premature_{0};
   bool touch_first_ = true;
+  bool job_counters_ = true;
+  JobHandle<void> handle_;
 };
 
 /// Convenience one-shot replay (constructs a throwaway arena).

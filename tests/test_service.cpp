@@ -1,0 +1,294 @@
+// Scheduler-as-a-service lifecycle: repeated and concurrent jobs on one
+// long-lived Scheduler (per-job completion tracking), batched admission,
+// abandoned-batch semantics, steady-state fiber-stack reuse across a 10k
+// job stream, per-job counter snapshots, multi-tenant interleaving (two
+// graphs replayed concurrently keep their standalone deviation counts),
+// and the process-wide SharedScheduler registry. Runs under the tsan
+// preset (label: runtime).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deviation.hpp"
+#include "core/policy.hpp"
+#include "graphs/registry.hpp"
+#include "runtime/pool.hpp"
+#include "runtime/replay.hpp"
+#include "sched/options.hpp"
+#include "sched/sequential.hpp"
+#include "support/check.hpp"
+
+namespace wsf {
+namespace {
+
+using core::ForkPolicy;
+using runtime::SpawnPolicy;
+using sched::TouchEnable;
+
+class ServiceBothPolicies
+    : public ::testing::TestWithParam<SpawnPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, ServiceBothPolicies,
+                         ::testing::Values(SpawnPolicy::FutureFirst,
+                                           SpawnPolicy::ParentFirst),
+                         [](const auto& info) {
+                           return info.param == SpawnPolicy::FutureFirst
+                                      ? "FutureFirst"
+                                      : "ParentFirst";
+                         });
+
+int tree_sum(int depth) {
+  if (depth == 0) return 1;
+  auto left = runtime::spawn([depth] { return tree_sum(depth - 1); });
+  const int right = tree_sum(depth - 1);
+  return left.touch() + right;
+}
+
+TEST_P(ServiceBothPolicies, RepeatedRunBackToBack) {
+  // The regression the service rework guards: one Scheduler instance must
+  // serve an arbitrary stream of run() jobs — the lifecycle (completion
+  // tracking, fiber bookkeeping) fully resets between jobs.
+  runtime::Scheduler sched({.workers = 2, .policy = GetParam()});
+  for (int round = 0; round < 5; ++round) {
+    const int sum = sched.run([] { return tree_sum(4); });
+    EXPECT_EQ(sum, 1 << 4) << "round " << round;
+  }
+}
+
+TEST_P(ServiceBothPolicies, ConcurrentJobsCompleteIndependently) {
+  // A short job's run() must return while an unrelated long job is still
+  // in flight. Under the old scheduler-global quiescence wait this
+  // deadlocks: the short submitter waits for *all* outstanding tasks,
+  // including the gated long job that is only released afterwards.
+  runtime::Scheduler sched({.workers = 2, .policy = GetParam()});
+  std::atomic<bool> release{false};
+  auto long_job = sched.submit([&release] {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    return 42;
+  });
+  const int quick = sched.run([] { return tree_sum(3); });
+  EXPECT_EQ(quick, 1 << 3);
+  EXPECT_FALSE(long_job.done());
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(long_job.wait(), 42);
+}
+
+TEST_P(ServiceBothPolicies, BatchAdmitsAllJobsInOneOperation) {
+  runtime::Scheduler sched({.workers = 2, .policy = GetParam()});
+  std::vector<runtime::JobHandle<int>> handles;
+  runtime::Batch batch(sched);
+  for (int i = 0; i < 32; ++i)
+    handles.push_back(batch.add([i] { return i * i + tree_sum(2) - 4; }));
+  EXPECT_EQ(batch.size(), 32u);
+  sched.submit(std::move(batch));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(handles[i].wait(), i * i);
+}
+
+TEST_P(ServiceBothPolicies, AbandonedBatchMakesWaitThrow) {
+  runtime::Scheduler sched({.workers = 1, .policy = GetParam()});
+  runtime::JobHandle<int> handle;
+  {
+    runtime::Batch batch(sched);
+    handle = batch.add([] { return 7; });
+    // Batch destroyed without Scheduler::submit: the job never runs.
+  }
+  EXPECT_TRUE(handle.done());
+  EXPECT_THROW(handle.wait(), CheckError);
+}
+
+TEST_P(ServiceBothPolicies, ExceptionPropagatesThroughHandle) {
+  runtime::Scheduler sched({.workers = 2, .policy = GetParam()});
+  auto handle = sched.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(handle.wait(), std::runtime_error);
+  // The scheduler stays healthy for the next job.
+  EXPECT_EQ(sched.run([] { return tree_sum(3); }), 1 << 3);
+}
+
+TEST_P(ServiceBothPolicies, DrainWaitsForFireAndForgetJobs) {
+  runtime::Scheduler sched({.workers = 2, .policy = GetParam()});
+  std::atomic<int> effects{0};
+  std::vector<runtime::JobHandle<void>> handles;
+  for (int i = 0; i < 16; ++i)
+    handles.push_back(sched.submit([&effects] {
+      auto f = runtime::spawn(
+          [&effects] { effects.fetch_add(1, std::memory_order_relaxed); });
+      effects.fetch_add(1, std::memory_order_relaxed);
+      (void)f;  // never touched: quiescence must still cover it
+    }));
+  sched.drain();
+  EXPECT_EQ(effects.load(), 32);
+  for (auto& h : handles) EXPECT_TRUE(h.done());
+}
+
+TEST_P(ServiceBothPolicies, TenThousandJobsReuseFiberStacksAtSteadyState) {
+  // The fiber-return-path regression (stacks of migrated fibers used to
+  // strand in their creating worker's live set until shutdown, so
+  // sustained load grew stack memory unboundedly): across a 10k job
+  // stream, the stack pool must cover steady state — zero fibers created
+  // after warmup, every job running on recycled stacks.
+  runtime::Scheduler sched(
+      {.workers = 2, .policy = GetParam(), .stack_bytes = 64 * 1024});
+  auto one_job = [&sched] {
+    return sched.submit([] {
+      auto a = runtime::spawn([] { return 1; });
+      auto b = runtime::spawn([] { return 2; });
+      return a.touch() + b.touch();
+    });
+  };
+  constexpr int kWarmup = 500;
+  constexpr int kJobs = 10000;
+  for (int i = 0; i < kWarmup; ++i) EXPECT_EQ(one_job().wait(), 3);
+  // Deterministic capacity floor on top of the warmed pool (the service's
+  // prewarm API); demand variance beyond the warmup peak draws from this
+  // slack instead of allocating.
+  sched.prewarm(2 * sched.num_workers() + 8);
+  const runtime::WorkerCounters before = sched.counters().total();
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(one_job().wait(), 3);
+  const runtime::WorkerCounters after = sched.counters().total();
+  const runtime::WorkerCounters delta =
+      runtime::counters_since(after, before);
+  EXPECT_EQ(delta.fibers_created, 0u)
+      << "steady-state jobs allocated fiber stacks (pool not recycling)";
+  // Every job's tasks ran on a recycled stack: ≥ 3 fibers per job.
+  EXPECT_GE(delta.stacks_reused, static_cast<std::uint64_t>(3 * kJobs));
+}
+
+TEST_P(ServiceBothPolicies, PerJobCountersReconcileInIsolation) {
+  // JobOptions::counters attaches a per-job delta built from the same
+  // WorkerCounters; in isolation it must satisfy the reconciliation
+  // identities the scheduler-wide counters satisfy at quiescence.
+  runtime::Scheduler sched({.workers = 2, .policy = GetParam()});
+  sched.run([] { return tree_sum(3); });  // background noise beforehand
+  auto handle =
+      sched.submit([] { return tree_sum(5); }, {.counters = true});
+  EXPECT_EQ(handle.wait(), 1 << 5);
+  const runtime::WorkerCounters t = handle.counters().total();
+  EXPECT_EQ(t.local_pops + t.inbox_takes + t.steals,
+            (t.tasks_run - t.inline_children) + t.resumes);
+  EXPECT_EQ(t.resumes, t.continuations_pushed + t.wakes_pushed);
+  EXPECT_EQ(t.parked_touches, t.handoff_runs + t.wakes_pushed);
+  EXPECT_EQ(t.fiber_resumes, t.tasks_run + t.resumes + t.handoff_runs);
+  // Exactly this job's root came through the inbox.
+  EXPECT_EQ(t.inbox_takes, 1u);
+  EXPECT_EQ(t.spawns, (1u << 5) - 1);
+  EXPECT_GT(handle.latency_us() + 1, 0u);
+}
+
+TEST_P(ServiceBothPolicies, ManySubmittersInterleaveCorrectResults) {
+  runtime::Scheduler sched({.workers = 2, .policy = GetParam()});
+  constexpr int kThreads = 4;
+  constexpr int kJobsEach = 50;
+  std::vector<std::thread> submitters;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t)
+    submitters.emplace_back([&sched, &failures] {
+      for (int i = 0; i < kJobsEach; ++i)
+        if (sched.run([] { return tree_sum(3); }) != 1 << 3)
+          failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant graph replay.
+
+std::uint64_t deviations_of(const core::Graph& g,
+                            const std::vector<core::NodeId>& seq_order,
+                            const runtime::GraphReplayer& replayer) {
+  return core::count_deviations(g, seq_order, replayer.worker_orders())
+      .deviations;
+}
+
+TEST(ServiceMultiTenant, ConcurrentGraphsKeepStandaloneDeviations) {
+  // Two tenants submit different graphs to ONE 1-worker scheduler from two
+  // threads. Each job's recorded node order — and hence its deviation
+  // count against its own sequential baseline — must be what it is when
+  // the graph runs alone: per-job state (events, orders, completion) is
+  // fully isolated, and a worker interleaving two jobs preserves each
+  // job's internal order.
+  for (const ForkPolicy policy :
+       {ForkPolicy::FutureFirst, ForkPolicy::ParentFirst}) {
+    for (const TouchEnable touch :
+         {TouchEnable::TouchFirst, TouchEnable::ContinuationFirst}) {
+      sched::SimOptions opts;
+      opts.procs = 1;
+      opts.policy = policy;
+      opts.touch_enable = touch;
+      const auto gen_a =
+          graphs::make_named("fig2", {.size = 5, .size2 = 3});
+      const auto gen_b =
+          graphs::make_named("forkjoin", {.size = 4, .size2 = 3});
+      const sched::SeqResult seq_a =
+          sched::run_sequential(gen_a.graph, opts);
+      const sched::SeqResult seq_b =
+          sched::run_sequential(gen_b.graph, opts);
+
+      runtime::RuntimeOptions ropts;
+      ropts.workers = 1;
+      ropts.policy = policy == ForkPolicy::FutureFirst
+                         ? SpawnPolicy::FutureFirst
+                         : SpawnPolicy::ParentFirst;
+      runtime::ReplayOptions replay_opts;
+      replay_opts.touch_enable = touch;
+      replay_opts.job_counters = false;
+
+      // Standalone runs, one tenant at a time.
+      runtime::Scheduler alone(ropts);
+      runtime::GraphReplayer rep_a(gen_a.graph);
+      runtime::GraphReplayer rep_b(gen_b.graph);
+      (void)rep_a.run(alone, replay_opts);
+      (void)rep_b.run(alone, replay_opts);
+      const std::uint64_t alone_a =
+          deviations_of(gen_a.graph, seq_a.order, rep_a);
+      const std::uint64_t alone_b =
+          deviations_of(gen_b.graph, seq_b.order, rep_b);
+
+      // Concurrent runs, several rounds to exercise interleavings.
+      runtime::Scheduler shared(ropts);
+      for (int round = 0; round < 8; ++round) {
+        std::thread tenant_a(
+            [&] { (void)rep_a.run(shared, replay_opts); });
+        std::thread tenant_b(
+            [&] { (void)rep_b.run(shared, replay_opts); });
+        tenant_a.join();
+        tenant_b.join();
+        EXPECT_EQ(deviations_of(gen_a.graph, seq_a.order, rep_a), alone_a)
+            << "policy=" << to_string(policy)
+            << " touch=" << sched::to_string(touch) << " round=" << round;
+        EXPECT_EQ(deviations_of(gen_b.graph, seq_b.order, rep_b), alone_b)
+            << "policy=" << to_string(policy)
+            << " touch=" << sched::to_string(touch) << " round=" << round;
+      }
+    }
+  }
+}
+
+TEST(ServiceSharedScheduler, RegistrySharesLiveInstancesByShape) {
+  runtime::RuntimeOptions opts;
+  opts.workers = 2;
+  auto lease_a = runtime::SharedScheduler::acquire(opts);
+  auto lease_b = runtime::SharedScheduler::acquire(opts);
+  EXPECT_EQ(lease_a.get(), lease_b.get()) << "same shape, same scheduler";
+  opts.workers = 1;
+  auto lease_c = runtime::SharedScheduler::acquire(opts);
+  EXPECT_NE(lease_a.get(), lease_c.get()) << "different shape";
+  // Seed does not shape the pool: it only perturbs victim selection.
+  opts.workers = 2;
+  opts.seed = 999;
+  auto lease_d = runtime::SharedScheduler::acquire(opts);
+  EXPECT_EQ(lease_a.get(), lease_d.get());
+  // Leased schedulers are live services.
+  EXPECT_EQ(lease_a->scheduler().run([] { return tree_sum(3); }), 1 << 3);
+  EXPECT_EQ(lease_c->scheduler().run([] { return tree_sum(3); }), 1 << 3);
+}
+
+}  // namespace
+}  // namespace wsf

@@ -1,0 +1,382 @@
+// wsf-load — sustained-load harness for the scheduler-as-a-service path.
+//
+// Drives a stream of graph-replay jobs through ONE long-lived
+// runtime::Scheduler from several submitter threads, using batched
+// admission (runtime::Batch) and per-job completion handles, and reports
+// service-side measures: throughput (jobs/sec), the admission-to-completion
+// latency distribution (mean/p50/p95/p99/max), and steady-state fiber-stack
+// accounting — after the warmup jobs, a healthy service creates zero new
+// fiber stacks (every job runs on recycled ones), which --strict turns
+// into a nonzero exit for CI.
+//
+// Job mixes are deliberately unbalanced (the testpools-style shape):
+//   uniform      every job is the same medium fork-join DAG
+//   skewed       90% tiny fig2 jobs + 10% heavy fork-join jobs (heavy
+//                tail: slots 0, 10, 20, … of the stream)
+//   touch-heavy  alternating fig4 / fig2 jobs — many touch edges, so the
+//                load is parks/wakes rather than spawns
+//
+//   ./build/tools/wsf-load --mix=skewed --jobs=12000 --warmup=1000 --strict
+//   ./build/tools/wsf-load --mix=uniform --workers=2 --submitters=4
+//   ./build/tools/wsf-load --mix=touch-heavy --baseline --format=csv
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphs/registry.hpp"
+#include "runtime/pool.hpp"
+#include "runtime/replay.hpp"
+#include "sched/options.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace wsf;
+
+namespace {
+
+struct MixKind {
+  std::string family;
+  graphs::RegistryParams params;
+};
+
+struct LoadConfig {
+  std::string mix_name;
+  std::vector<MixKind> kinds;
+  /// kind index for the i-th job of the stream (the skew pattern).
+  std::size_t (*kind_of)(std::uint64_t slot) = nullptr;
+  std::uint32_t workers = 0;
+  runtime::SpawnPolicy policy = runtime::SpawnPolicy::FutureFirst;
+  sched::TouchEnable touch_enable = sched::TouchEnable::TouchFirst;
+  std::uint64_t jobs = 10000;
+  std::uint64_t warmup = 1000;
+  std::uint64_t batch = 16;
+  std::uint32_t submitters = 2;
+};
+
+struct LoadStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t wall_us = 0;
+  double jobs_per_sec = 0;
+  double mean_us = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+  /// Fiber stacks created during the measured phase (0 at steady state).
+  std::uint64_t steady_fibers_created = 0;
+  std::uint64_t fibers_created_total = 0;
+  std::uint64_t stacks_reused = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t migrations = 0;
+};
+
+std::size_t kind_uniform(std::uint64_t) { return 0; }
+std::size_t kind_skewed(std::uint64_t slot) { return slot % 10 == 0 ? 1 : 0; }
+std::size_t kind_alternate(std::uint64_t slot) { return slot % 2; }
+
+LoadConfig make_mix(const std::string& name) {
+  LoadConfig cfg;
+  cfg.mix_name = name;
+  if (name == "uniform") {
+    cfg.kinds = {{"forkjoin", {.size = 5, .size2 = 3}}};
+    cfg.kind_of = kind_uniform;
+  } else if (name == "skewed") {
+    // The testpools shape: a stream of tiny jobs with a 10% heavy tail
+    // (~20x the nodes), so a worker that grabs a heavy job forces the
+    // others to drain the tiny ones around it.
+    cfg.kinds = {{"fig2", {.size = 3}},
+                 {"forkjoin", {.size = 7, .size2 = 3}}};
+    cfg.kind_of = kind_skewed;
+  } else if (name == "touch-heavy") {
+    cfg.kinds = {{"fig4", {.size = 6}}, {"fig2", {.size = 6}}};
+    cfg.kind_of = kind_alternate;
+  } else {
+    WSF_REQUIRE(false, "unknown --mix '" << name
+                                         << "' (uniform | skewed | "
+                                            "touch-heavy)");
+  }
+  return cfg;
+}
+
+/// One submitter thread: pulls batch-sized job ranges off the shared
+/// cursor, stages each job's replay into a runtime::Batch (one admission
+/// per batch), then collects the handles and records per-job latency.
+/// Replayer arenas are per (batch slot, kind) and reused across batches,
+/// so a submitter's steady state allocates nothing graph-sized.
+void submitter_loop(runtime::Scheduler& sched, const LoadConfig& cfg,
+                    const std::vector<graphs::GeneratedDag>& dags,
+                    std::atomic<std::uint64_t>& cursor, std::uint64_t limit,
+                    std::vector<std::uint64_t>* latencies) {
+  std::vector<std::vector<std::unique_ptr<runtime::GraphReplayer>>> arenas(
+      cfg.batch);
+  for (auto& per_kind : arenas)
+    for (const auto& dag : dags)
+      per_kind.push_back(
+          std::make_unique<runtime::GraphReplayer>(dag.graph));
+  runtime::ReplayOptions opts;
+  opts.touch_enable = cfg.touch_enable;
+  opts.job_counters = false;  // per-job baselines would allocate per job
+
+  while (true) {
+    const std::uint64_t start = cursor.fetch_add(cfg.batch);
+    if (start >= limit) break;
+    const std::uint64_t n = std::min(cfg.batch, limit - start);
+    runtime::Batch batch(sched);
+    for (std::uint64_t i = 0; i < n; ++i)
+      arenas[i][cfg.kind_of(start + i)]->stage(batch, opts);
+    sched.submit(std::move(batch));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const runtime::ReplayResult r =
+          arenas[i][cfg.kind_of(start + i)]->collect();
+      if (latencies) (*latencies)[start + i] = r.wall_us;
+    }
+  }
+}
+
+void run_phase(runtime::Scheduler& sched, const LoadConfig& cfg,
+               const std::vector<graphs::GeneratedDag>& dags,
+               std::uint64_t total_jobs,
+               std::vector<std::uint64_t>* latencies) {
+  std::atomic<std::uint64_t> cursor{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(cfg.submitters);
+  for (std::uint32_t s = 0; s < cfg.submitters; ++s)
+    submitters.emplace_back([&] {
+      submitter_loop(sched, cfg, dags, cursor, total_jobs, latencies);
+    });
+  for (auto& t : submitters) t.join();
+  sched.drain();
+}
+
+LoadStats run_load(const LoadConfig& cfg) {
+  std::vector<graphs::GeneratedDag> dags;
+  for (const MixKind& kind : cfg.kinds)
+    dags.push_back(graphs::make_named(kind.family, kind.params));
+
+  runtime::RuntimeOptions opts;
+  opts.workers = cfg.workers;
+  opts.policy = cfg.policy;
+  // Replay bodies are flat loops; a small stack keeps the pooled set cheap.
+  opts.stack_bytes = 128 * 1024;
+  runtime::Scheduler sched(opts);
+
+  // Warmup: same submitters, same batches, same mix — its purpose is to
+  // reach the service's peak concurrent-fiber demand so the measured phase
+  // runs entirely on recycled stacks. Peak demand is stochastic (it
+  // depends on how parks and steals interleave), so warm until a full
+  // round creates no new stack, then pre-provision a slack margin that
+  // absorbs both per-worker local caches and scheduling variance.
+  std::uint64_t created = sched.counters().total().fibers_created;
+  for (int round = 0; round < 8; ++round) {
+    run_phase(sched, cfg, dags, cfg.warmup, nullptr);
+    const std::uint64_t now = sched.counters().total().fibers_created;
+    if (now == created && round > 0) break;
+    created = now;
+  }
+  sched.prewarm(2 * sched.num_workers() + 32);
+  const runtime::WorkerCounters before = sched.counters().total();
+
+  std::vector<std::uint64_t> latencies(cfg.jobs, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  run_phase(sched, cfg, dags, cfg.jobs, &latencies);
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  const runtime::WorkerCounters after = sched.counters().total();
+  const runtime::WorkerCounters delta = runtime::counters_since(after, before);
+
+  LoadStats stats;
+  stats.jobs = cfg.jobs;
+  stats.wall_us = static_cast<std::uint64_t>(wall.count());
+  stats.jobs_per_sec = stats.wall_us == 0
+                           ? 0
+                           : 1e6 * static_cast<double>(cfg.jobs) /
+                                 static_cast<double>(stats.wall_us);
+  double sum = 0;
+  for (const std::uint64_t us : latencies) sum += static_cast<double>(us);
+  stats.mean_us = sum / static_cast<double>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double q) {
+    const std::size_t n = latencies.size();
+    std::size_t i = static_cast<std::size_t>(q * static_cast<double>(n));
+    if (i >= n) i = n - 1;
+    return latencies[i];
+  };
+  stats.p50_us = pct(0.50);
+  stats.p95_us = pct(0.95);
+  stats.p99_us = pct(0.99);
+  stats.max_us = latencies.back();
+  stats.steady_fibers_created = delta.fibers_created;
+  stats.fibers_created_total = after.fibers_created;
+  stats.stacks_reused = delta.stacks_reused;
+  stats.steals = delta.steals;
+  stats.migrations = delta.migrations;
+  return stats;
+}
+
+void write_rendered(const std::string& rendered, const std::string& path) {
+  if (path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return;
+  }
+  std::ofstream file(path);
+  WSF_REQUIRE(file.good(), "cannot open '" << path << "'");
+  file << rendered;
+  WSF_REQUIRE(file.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "wsf-load — sustained-load harness: streams batched graph-replay "
+      "jobs through one long-lived scheduler from several submitter "
+      "threads and reports jobs/sec, latency percentiles, and steady-state "
+      "fiber-stack accounting");
+  auto& workers = args.add_int("workers", 0,
+                               "worker threads (0 = hardware concurrency)");
+  auto& policy = args.add_string("policy", "future-first",
+                                 "fork policy (future-first | parent-first)");
+  auto& touch = args.add_string("touch", "touch-first",
+                                "touch-enable rule (touch-first | "
+                                "continuation-first)");
+  auto& mix = args.add_string("mix", "skewed",
+                              "job mix: uniform | skewed (90% tiny + 10% "
+                              "heavy) | touch-heavy");
+  auto& jobs = args.add_int("jobs", 10000, "measured jobs");
+  auto& warmup = args.add_int("warmup", 1000,
+                              "warmup jobs before measuring (fills the "
+                              "fiber-stack pool)");
+  auto& batch = args.add_int("batch", 16, "jobs admitted per batch");
+  auto& submitters = args.add_int("submitters", 2,
+                                  "concurrent submitter threads");
+  auto& baseline = args.add_bool(
+      "baseline", false,
+      "also run the measured jobs on a 1-worker, 1-submitter scheduler "
+      "and report the throughput speedup");
+  auto& strict = args.add_bool(
+      "strict", false,
+      "exit nonzero if the measured phase created any fiber stack "
+      "(steady state must run entirely on recycled stacks)");
+  auto& format = args.add_string("format", "table", "table | csv | json");
+  auto& out = args.add_string("out", "",
+                              "write the rendered output to this file "
+                              "instead of stdout");
+
+  // Flag parsing must not escape main: an uncaught CheckError (e.g.
+  // --workers=abc) would terminate with SIGABRT and no usable diagnostic.
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-load: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    LoadConfig cfg = make_mix(mix.value);
+    cfg.workers = static_cast<std::uint32_t>(workers.value);
+    WSF_REQUIRE(policy.value == "future-first" ||
+                    policy.value == "parent-first",
+                "unknown --policy '" << policy.value
+                                     << "' (future-first | parent-first)");
+    cfg.policy = policy.value == "future-first"
+                     ? runtime::SpawnPolicy::FutureFirst
+                     : runtime::SpawnPolicy::ParentFirst;
+    cfg.touch_enable = sched::touch_enable_from_string(touch.value);
+    WSF_REQUIRE(jobs.value > 0, "--jobs must be positive");
+    WSF_REQUIRE(batch.value > 0, "--batch must be positive");
+    WSF_REQUIRE(submitters.value > 0, "--submitters must be positive");
+    cfg.jobs = static_cast<std::uint64_t>(jobs.value);
+    cfg.warmup = static_cast<std::uint64_t>(warmup.value);
+    cfg.batch = static_cast<std::uint64_t>(batch.value);
+    cfg.submitters = static_cast<std::uint32_t>(submitters.value);
+
+    const LoadStats stats = run_load(cfg);
+
+    LoadStats base;
+    if (baseline.value) {
+      LoadConfig base_cfg = cfg;
+      base_cfg.workers = 1;
+      base_cfg.submitters = 1;
+      base = run_load(base_cfg);
+    }
+
+    std::vector<std::string> headers = {
+        "mix",         "workers",     "policy",
+        "touch",       "jobs",        "batch",
+        "submitters",  "wall_ms",     "jobs_per_sec",
+        "mean_us",     "p50_us",      "p95_us",
+        "p99_us",      "max_us",      "steady_fibers_created",
+        "stacks_reused", "steals",    "migrations"};
+    if (baseline.value) {
+      headers.push_back("baseline_jobs_per_sec");
+      headers.push_back("speedup");
+    }
+    support::Table table(headers);
+    table.row()
+        .add(cfg.mix_name)
+        .add(cfg.workers == 0 ? std::thread::hardware_concurrency()
+                              : cfg.workers)
+        .add(runtime::to_string(cfg.policy))
+        .add(sched::to_string(cfg.touch_enable))
+        .add(stats.jobs)
+        .add(cfg.batch)
+        .add(cfg.submitters)
+        .add(static_cast<double>(stats.wall_us) / 1000.0)
+        .add(stats.jobs_per_sec)
+        .add(stats.mean_us)
+        .add(stats.p50_us)
+        .add(stats.p95_us)
+        .add(stats.p99_us)
+        .add(stats.max_us)
+        .add(stats.steady_fibers_created)
+        .add(stats.stacks_reused)
+        .add(stats.steals)
+        .add(stats.migrations);
+    if (baseline.value) {
+      table.add(base.jobs_per_sec);
+      table.add(base.jobs_per_sec == 0
+                    ? 0.0
+                    : stats.jobs_per_sec / base.jobs_per_sec);
+    }
+    WSF_REQUIRE(format.value == "table" || format.value == "csv" ||
+                    format.value == "json",
+                "unknown --format '" << format.value
+                                     << "' (table | csv | json)");
+    write_rendered(format.value == "csv"    ? table.to_csv()
+                   : format.value == "json" ? table.to_json()
+                                            : table.to_string(),
+                   out.value);
+    std::fprintf(stderr,
+                 "wsf-load: %llu jobs (%s mix) at %.0f jobs/sec, p99 %llu "
+                 "us, %llu steady-state fiber stacks created%s%s\n",
+                 static_cast<unsigned long long>(stats.jobs),
+                 cfg.mix_name.c_str(), stats.jobs_per_sec,
+                 static_cast<unsigned long long>(stats.p99_us),
+                 static_cast<unsigned long long>(stats.steady_fibers_created),
+                 out.value.empty() ? "" : " -> ", out.value.c_str());
+    if (strict.value && stats.steady_fibers_created != 0) {
+      std::fprintf(stderr,
+                   "wsf-load: --strict: measured phase created %llu fiber "
+                   "stacks (expected 0 at steady state)\n",
+                   static_cast<unsigned long long>(
+                       stats.steady_fibers_created));
+      return 3;
+    }
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-load: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wsf-load: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

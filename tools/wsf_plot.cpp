@@ -19,6 +19,7 @@
 // is empty/NaN-only — fails the whole invocation, so CI catches output
 // drift instead of uploading blank plots.
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -183,7 +184,14 @@ int main(int argc, char** argv) {
                                  "directory for the .dat/.gp/.txt files");
   auto& quiet = args.add_bool(
       "quiet", false, "do not print the ASCII previews to stdout");
-  if (!args.parse(argc, argv)) return 0;
+  // Flag parsing must not escape main: an uncaught CheckError (e.g.
+  // --quiet=maybe) would terminate with SIGABRT and no usable diagnostic.
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-plot: %s\n", e.what());
+    return 2;
+  }
 
   try {
     WSF_REQUIRE(!in.value.empty(),
@@ -252,6 +260,9 @@ int main(int argc, char** argv) {
                    outdir.value.c_str(), family.c_str());
     }
   } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-plot: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "wsf-plot: %s\n", e.what());
     return 1;
   }

@@ -203,7 +203,14 @@ int main(int argc, char** argv) {
       "smoke", false,
       "fast CI grid: tiny fig2/fig4 graphs, full P × policy × touch × cache "
       "axes, 2 seeds (overrides the grid flags)");
-  if (!args.parse(argc, argv)) return 0;
+  // Flag parsing must not escape main: an uncaught CheckError (e.g.
+  // --threads=abc) would terminate with SIGABRT and no usable diagnostic.
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-sweep: %s\n", e.what());
+    return 2;
+  }
 
   try {
     if (!merge.value.empty()) {
@@ -284,6 +291,9 @@ int main(int argc, char** argv) {
         static_cast<long long>(elapsed_ms), out.value.empty() ? "" : " -> ",
         out.value.c_str());
   } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-sweep: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "wsf-sweep: %s\n", e.what());
     return 1;
   }
