@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "bench_common.hpp"
@@ -35,12 +36,21 @@ int main(int argc, char** argv) {
   auto& procs = args.add_int("procs", 8, "simulated processors");
   auto& seeds = args.add_int("seeds", 200, "replicates per measurement");
   auto& stall = args.add_double("stall", 0.25, "stall probability");
+  auto& format = args.add_string("format", "table", "table | csv | json");
+  auto& out = args.add_string("out", "",
+                              "write the rendered table to this file "
+                              "instead of stdout");
   if (!args.parse(argc, argv)) return 0;
+  WSF_REQUIRE(format.value == "table" || format.value == "csv" ||
+                  format.value == "json",
+              "unknown --format '" << format.value
+                                   << "' (table | csv | json)");
 
-  bench::print_header(
-      "bench_sim_reuse",
-      "one sweep job recycles its simulator's pending/executed/deque "
-      "allocations across seed replicates instead of reconstructing");
+  if (format.value == "table" && out.value.empty())
+    bench::print_header(
+        "bench_sim_reuse",
+        "one sweep job recycles its simulator's pending/executed/deque "
+        "allocations across seed replicates instead of reconstructing");
 
   graphs::RegistryParams params;
   params.size = static_cast<std::uint32_t>(size.value);
@@ -118,15 +128,30 @@ int main(int argc, char** argv) {
       .add(batch_ms)
       .add(batch_ms * 1000.0 / static_cast<double>(n_seeds))
       .add(batch_steals);
-  table.print("replicate-loop cost");
+  if (format.value == "table" && out.value.empty()) {
+    table.print("replicate-loop cost");
+  } else {
+    const std::string rendered = format.value == "csv"    ? table.to_csv()
+                                 : format.value == "json" ? table.to_json()
+                                                          : table.to_string();
+    if (out.value.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::ofstream file(out.value);
+      WSF_REQUIRE(file.good(), "cannot open '" << out.value << "'");
+      file << rendered;
+      WSF_REQUIRE(file.good(), "write to '" << out.value << "' failed");
+    }
+  }
 
   const bool identical =
       warm_steals == fresh_steals && batch_steals == fresh_steals;
-  std::printf(
-      "identical results: %s; arena speedup: %.2fx; batched speedup: "
-      "%.2fx\n",
-      identical ? "yes" : "NO (BUG)",
-      warm_ms > 0 ? fresh_ms / warm_ms : 0.0,
-      batch_ms > 0 ? fresh_ms / batch_ms : 0.0);
+  if (format.value == "table" && out.value.empty())
+    std::printf(
+        "identical results: %s; arena speedup: %.2fx; batched speedup: "
+        "%.2fx\n",
+        identical ? "yes" : "NO (BUG)",
+        warm_ms > 0 ? fresh_ms / warm_ms : 0.0,
+        batch_ms > 0 ? fresh_ms / batch_ms : 0.0);
   return identical ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 // lives in the sweep runner, which executes the grid concurrently.
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <fstream>
 
 using namespace wsf;
@@ -17,6 +18,12 @@ int main(int argc, char** argv) {
   auto& out = args.add_string("out", "",
                               "write the rendered table to this file "
                               "instead of stdout");
+  auto& timing_out = args.add_string(
+      "timing-out", "",
+      "also write a wall-clock timing JSON (label, configs, seeds, "
+      "elapsed_ms, configs_per_sec) to this file");
+  auto& label = args.add_string("label", "current",
+                                "label column for --timing-out rows");
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const CheckError& e) {
@@ -45,8 +52,12 @@ int main(int argc, char** argv) {
   spec.cache_lines = {0};
   spec.stall_prob = 0.1;
   spec.seeds = static_cast<std::uint64_t>(seeds.value);
+  const auto t0 = std::chrono::steady_clock::now();
   const auto sweep =
       exp::run_sweep(spec, static_cast<unsigned>(threads.value));
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
 
   support::Table table({"family", "nodes", "T∞", "P", "mean steals",
                         "steals/(P*T)"});
@@ -61,6 +72,29 @@ int main(int argc, char** argv) {
         .add(steals)
         .add(steals / core::abp_steal_bound(procs, row.cell.stats.span));
   }
+  // The timing side channel is separate from the result table on purpose:
+  // the table is deterministic (diffed exactly across refactors), the
+  // timing row is the machine-local perf trajectory the snapshot diff
+  // tracks with a tolerance.
+  if (!timing_out.value.empty()) {
+    support::Table timing({"label", "configs", "seeds", "elapsed_ms",
+                           "configs_per_sec"});
+    const auto configs = static_cast<std::uint64_t>(sweep.rows.size());
+    timing.row()
+        .add(label.value)
+        .add(configs)
+        .add(static_cast<std::uint64_t>(seeds.value))
+        .add(elapsed_ms)
+        .add(elapsed_ms > 0
+                 ? static_cast<double>(configs) * 1000.0 / elapsed_ms
+                 : 0.0);
+    std::ofstream tfile(timing_out.value);
+    WSF_REQUIRE(tfile.good(), "cannot open '" << timing_out.value << "'");
+    tfile << timing.to_json();
+    WSF_REQUIRE(tfile.good(),
+                "write to '" << timing_out.value << "' failed");
+  }
+
   const std::string rendered = format.value == "csv"    ? table.to_csv()
                                : format.value == "json" ? table.to_json()
                                                         : table.to_string();

@@ -129,6 +129,7 @@ Graph GraphBuilder::finish() {
   WSF_REQUIRE(!finished_, "builder already finished");
   finished_ = true;
   g_.final_ = tails_[0];
+  g_.build_touch_index();
   g_.validate();
   return std::move(g_);
 }
@@ -154,6 +155,7 @@ Graph GraphBuilder::finish_super(bool touch_all) {
       g_.add_super_final_edge(last);
     }
   }
+  g_.build_touch_index();
   g_.validate();
   return std::move(g_);
 }

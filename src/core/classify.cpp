@@ -23,7 +23,8 @@ struct ThreadTouches {
 
 ThreadTouches collect_touches(const Graph& g, ThreadId t) {
   ThreadTouches out;
-  out.regular = g.touches_of_thread(t);
+  const auto touches = g.touches_of_thread(t);
+  out.regular.assign(touches.begin(), touches.end());
   const NodeId last = g.thread_info(t).last_node;
   for (NodeId pred : g.super_final_preds()) {
     if (pred == last) out.touches_super_final = true;

@@ -23,12 +23,6 @@ const char* to_string(EdgeKind k) {
   return "?";
 }
 
-std::size_t Graph::num_edges() const {
-  std::size_t n = super_final_preds_.size();
-  for (const Node& node : nodes_) n += node.out_count;
-  return n;
-}
-
 std::size_t Graph::in_degree(NodeId id) const {
   std::size_t d = nodes_[id].in_count;
   if (id == final_) d += super_final_preds_.size();
@@ -104,11 +98,28 @@ NodeId Graph::corresponding_fork_of(NodeId touch) const {
   return threads_[future_thread_of(touch)].fork_node;
 }
 
-std::vector<NodeId> Graph::touches_of_thread(ThreadId t) const {
-  std::vector<NodeId> out;
+std::span<const NodeId> Graph::touches_of_thread(ThreadId t) const {
+  WSF_DCHECK(thread_touch_off_.size() == threads_.size() + 1,
+             "touch index not built (graph not finished?)");
+  return std::span<const NodeId>(thread_touches_)
+      .subspan(thread_touch_off_[t],
+               thread_touch_off_[t + 1] - thread_touch_off_[t]);
+}
+
+void Graph::build_touch_index() {
+  // Counting sort of touch_nodes_ by future thread, preserving the relative
+  // (construction) order within each thread — the order the old per-call
+  // scan produced.
+  thread_touch_off_.assign(threads_.size() + 1, 0);
   for (NodeId touch : touch_nodes_)
-    if (future_thread_of(touch) == t) out.push_back(touch);
-  return out;
+    ++thread_touch_off_[future_thread_of(touch) + 1];
+  for (std::size_t t = 1; t < thread_touch_off_.size(); ++t)
+    thread_touch_off_[t] += thread_touch_off_[t - 1];
+  thread_touches_.assign(touch_nodes_.size(), kInvalidNode);
+  std::vector<std::uint32_t> cursor(thread_touch_off_.begin(),
+                                    thread_touch_off_.end() - 1);
+  for (NodeId touch : touch_nodes_)
+    thread_touches_[cursor[future_thread_of(touch)]++] = touch;
 }
 
 void Graph::set_role(NodeId id, const std::string& role) {
@@ -146,6 +157,7 @@ void Graph::add_edge(NodeId from, NodeId to, EdgeKind kind) {
   WSF_CHECK(t.in_count < 2, "node " << to << " already has two in-edges");
   f.out[f.out_count++] = HalfEdge{to, kind};
   t.in[t.in_count++] = HalfEdge{from, kind};
+  ++edge_count_;
   if (kind == EdgeKind::Touch) {
     // A node becomes a touch when its touch in-edge is added; record it once.
     touch_nodes_.push_back(to);
@@ -159,6 +171,7 @@ void Graph::add_super_final_edge(NodeId from) {
             "node " << from << " already has two out-edges");
   f.out[f.out_count++] = HalfEdge{final_, EdgeKind::Touch};
   super_final_preds_.push_back(from);
+  ++edge_count_;
 }
 
 void Graph::validate() const {

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -79,7 +80,9 @@ class Graph {
   // ---- sizes ----
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_threads() const { return threads_.size(); }
-  std::size_t num_edges() const;
+  /// Number of directed edges (each out half-edge once, super-final edges
+  /// included). Maintained incrementally — O(1).
+  std::size_t num_edges() const { return edge_count_; }
 
   // ---- node access ----
   const Node& node(NodeId id) const { return nodes_[id]; }
@@ -121,8 +124,10 @@ class Graph {
 
   // ---- threads ----
   const ThreadInfo& thread_info(ThreadId t) const { return threads_[t]; }
-  /// All touch nodes whose future parent lies in thread t ("touches of t").
-  std::vector<NodeId> touches_of_thread(ThreadId t) const;
+  /// All touch nodes whose future parent lies in thread t ("touches of t"),
+  /// in construction order. Backed by a CSR index built when the builder
+  /// finishes the graph — no per-call allocation or scan.
+  std::span<const NodeId> touches_of_thread(ThreadId t) const;
 
   // ---- enumeration ----
   /// All touch nodes in construction order (excludes the final node's
@@ -159,11 +164,16 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend Graph relabeled_graph(const Graph& g,
+                               const std::vector<NodeId>& new_id_of);
 
   NodeId add_node(ThreadId thread, BlockId block);
   void add_edge(NodeId from, NodeId to, EdgeKind kind);
   /// Registers an extra predecessor of the final node (super-final edge).
   void add_super_final_edge(NodeId from);
+  /// Builds the per-thread touch CSR. Called once the structure is final
+  /// (builder finish / relabel); touches_of_thread requires it.
+  void build_touch_index();
 
   std::vector<Node> nodes_;
   std::vector<ThreadInfo> threads_;
@@ -171,9 +181,26 @@ class Graph {
   std::vector<NodeId> fork_nodes_;
   std::vector<NodeId> super_final_preds_;
   NodeId final_ = kInvalidNode;
+  std::size_t edge_count_ = 0;
+
+  // CSR over touches_of_thread: thread t's touches are
+  // thread_touches_[thread_touch_off_[t] .. thread_touch_off_[t+1]).
+  std::vector<std::uint32_t> thread_touch_off_;
+  std::vector<NodeId> thread_touches_;
 
   std::unordered_map<std::string, NodeId> role_to_node_;
   std::unordered_map<NodeId, std::string> node_to_role_;
 };
+
+/// A structurally identical copy of `g` whose node ids are permuted:
+/// old node v becomes new node new_id_of[v]. The permutation must keep the
+/// root at id 0 (Graph::root() is id 0 by convention). Threads keep their
+/// ids; every NodeId-bearing table (edges, thread bounds, touch/fork lists,
+/// roles, super-final predecessors) is remapped, and enumeration lists are
+/// re-sorted into the new construction (id) order. The relabeled graph
+/// passes validate() and represents the same computation — only the memory
+/// layout order of nodes changes, which is exactly the cache variable the
+/// layout experiments sweep.
+Graph relabeled_graph(const Graph& g, const std::vector<NodeId>& new_id_of);
 
 }  // namespace wsf::core

@@ -1,0 +1,265 @@
+#include "core/layout.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace wsf::core {
+
+const char* to_string(NodeOrderKind k) {
+  switch (k) {
+    case NodeOrderKind::Construction:
+      return "construction";
+    case NodeOrderKind::Dfs:
+      return "dfs";
+    case NodeOrderKind::Sequential:
+      return "sequential";
+    case NodeOrderKind::Random:
+      return "random";
+  }
+  return "?";
+}
+
+NodeOrderKind node_order_from_string(const std::string& s) {
+  if (s == "construction") return NodeOrderKind::Construction;
+  if (s == "dfs") return NodeOrderKind::Dfs;
+  if (s == "sequential" || s == "seq") return NodeOrderKind::Sequential;
+  if (s == "random") return NodeOrderKind::Random;
+  WSF_REQUIRE(false, "unknown node order '"
+                         << s
+                         << "' (construction | dfs | sequential | random)");
+  return NodeOrderKind::Construction;
+}
+
+std::vector<NodeId> NodeOrder::to_original(
+    std::span<const NodeId> relabeled) const {
+  std::vector<NodeId> out;
+  out.reserve(relabeled.size());
+  for (const NodeId v : relabeled) {
+    WSF_REQUIRE(v < old_id_of.size(), "node " << v << " outside the order");
+    out.push_back(old_id_of[v]);
+  }
+  return out;
+}
+
+namespace {
+
+NodeOrder finish_order(const Graph& g, NodeOrderKind kind,
+                       std::vector<NodeId> new_id_of) {
+  NodeOrder order;
+  order.kind = kind;
+  order.new_id_of = std::move(new_id_of);
+  order.old_id_of.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
+    const NodeId nv = order.new_id_of[v];
+    WSF_CHECK(nv < g.num_nodes() && order.old_id_of[nv] == kInvalidNode,
+              "node order is not a permutation at node " << v);
+    order.old_id_of[nv] = v;
+  }
+  WSF_CHECK(order.new_id_of[g.root()] == 0,
+            "node order must keep the root at id 0");
+  return order;
+}
+
+}  // namespace
+
+NodeOrder construction_order(const Graph& g) {
+  std::vector<NodeId> ids(g.num_nodes());
+  for (NodeId v = 0; v < static_cast<NodeId>(ids.size()); ++v) ids[v] = v;
+  return finish_order(g, NodeOrderKind::Construction, std::move(ids));
+}
+
+NodeOrder dfs_order(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> new_id_of(n, kInvalidNode);
+  std::vector<NodeId> stack{g.root()};
+  NodeId next = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (new_id_of[v] != kInvalidNode) continue;
+    new_id_of[v] = next++;
+    const Node& node = g.node(v);
+    // Push in reverse so out[0]'s subtree is numbered first (preorder).
+    for (int i = node.out_count - 1; i >= 0; --i)
+      stack.push_back(node.out[i].node);
+  }
+  WSF_CHECK(static_cast<std::size_t>(next) == n,
+            "DFS reached " << next << " of " << n << " nodes");
+  return finish_order(g, NodeOrderKind::Dfs, std::move(new_id_of));
+}
+
+NodeOrder random_order(const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> old_of_new(n);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) old_of_new[v] = v;
+  // Fisher–Yates over ids 1..n-1: the root keeps id 0 by convention.
+  support::Xoshiro256 rng(seed);
+  for (std::size_t i = n; i > 2; --i) {
+    const std::size_t j = 1 + static_cast<std::size_t>(rng.below(i - 1));
+    std::swap(old_of_new[i - 1], old_of_new[j]);
+  }
+  std::vector<NodeId> new_id_of(n, kInvalidNode);
+  for (NodeId nv = 0; nv < static_cast<NodeId>(n); ++nv)
+    new_id_of[old_of_new[nv]] = nv;
+  return finish_order(g, NodeOrderKind::Random, std::move(new_id_of));
+}
+
+NodeOrder order_from_sequence(const Graph& g, NodeOrderKind kind,
+                              std::span<const NodeId> sequence) {
+  const std::size_t n = g.num_nodes();
+  WSF_REQUIRE(sequence.size() == n,
+              "order sequence covers " << sequence.size() << " of " << n
+                                       << " nodes");
+  std::vector<NodeId> new_id_of(n, kInvalidNode);
+  for (std::size_t k = 0; k < n; ++k) {
+    const NodeId v = sequence[k];
+    WSF_REQUIRE(v < n && new_id_of[v] == kInvalidNode,
+                "order sequence repeats or skips node " << v);
+    new_id_of[v] = static_cast<NodeId>(k);
+  }
+  return finish_order(g, kind, std::move(new_id_of));
+}
+
+Graph relabeled_graph(const Graph& g, const std::vector<NodeId>& new_id_of) {
+  const std::size_t n = g.num_nodes();
+  WSF_REQUIRE(new_id_of.size() == n,
+              "permutation covers " << new_id_of.size() << " of " << n
+                                    << " nodes");
+  WSF_REQUIRE(new_id_of[g.root()] == 0,
+              "relabeling must keep the root at id 0");
+  const auto map = [&](NodeId v) {
+    return v == kInvalidNode ? kInvalidNode : new_id_of[v];
+  };
+
+  Graph out;
+  out.nodes_.resize(n);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    Node node = g.nodes_[v];
+    for (std::uint8_t i = 0; i < node.out_count; ++i)
+      node.out[i].node = map(node.out[i].node);
+    for (std::uint8_t i = 0; i < node.in_count; ++i)
+      node.in[i].node = map(node.in[i].node);
+    const NodeId nv = new_id_of[v];
+    WSF_REQUIRE(nv < n, "permutation target " << nv << " out of range");
+    out.nodes_[nv] = node;
+  }
+  out.threads_ = g.threads_;
+  for (ThreadInfo& ti : out.threads_) {
+    ti.first_node = map(ti.first_node);
+    ti.last_node = map(ti.last_node);
+    ti.fork_node = map(ti.fork_node);
+  }
+  const auto remap_sorted = [&](const std::vector<NodeId>& in) {
+    std::vector<NodeId> mapped;
+    mapped.reserve(in.size());
+    for (const NodeId v : in) mapped.push_back(map(v));
+    // The relabeled graph's construction order IS its id order; sorting
+    // keeps the enumeration lists consistent with that convention (and
+    // deterministic).
+    std::sort(mapped.begin(), mapped.end());
+    return mapped;
+  };
+  out.touch_nodes_ = remap_sorted(g.touch_nodes_);
+  out.fork_nodes_ = remap_sorted(g.fork_nodes_);
+  out.super_final_preds_ = remap_sorted(g.super_final_preds_);
+  out.final_ = map(g.final_);
+  out.edge_count_ = g.edge_count_;
+  for (const auto& [role, v] : g.role_to_node_) {
+    out.role_to_node_[role] = map(v);
+    out.node_to_role_[map(v)] = role;
+  }
+  out.build_touch_index();
+  out.validate();
+  return out;
+}
+
+GraphLayout::GraphLayout(const Graph& g) : g_(&g), final_(g.final_node()) {
+  const std::size_t n = g.num_nodes();
+  thread_of_.resize(n);
+  block_of_.resize(n);
+  in_degree_.resize(n);
+  flags_.assign(n, 0);
+  left_child_.assign(n, kInvalidNode);
+  right_child_.assign(n, kInvalidNode);
+  future_parent_.assign(n, kInvalidNode);
+  corr_fork_.assign(n, kInvalidNode);
+
+  succ_off_.assign(n + 1, 0);
+  pred_off_.assign(n + 1, 0);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    const Node& node = g.node(v);
+    thread_of_[v] = node.thread;
+    block_of_[v] = node.block;
+    in_degree_[v] = static_cast<std::uint32_t>(g.in_degree(v));
+    succ_off_[v + 1] = node.out_count;
+    pred_off_[v + 1] = node.in_count;
+  }
+  // The final node's in array holds at most 2 slots; its super-final touch
+  // predecessors only exist in the side list. The predecessor CSR includes
+  // them so in_degree(v) == predecessors(v).size() for every node.
+  if (final_ != kInvalidNode)
+    pred_off_[final_ + 1] +=
+        static_cast<std::uint32_t>(g.super_final_preds().size());
+  for (std::size_t v = 0; v < n; ++v) {
+    succ_off_[v + 1] += succ_off_[v];
+    pred_off_[v + 1] += pred_off_[v];
+  }
+  succ_.resize(succ_off_[n]);
+  pred_.resize(pred_off_[n]);
+
+  std::vector<std::uint32_t> pred_cursor(pred_off_.begin(),
+                                         pred_off_.end() - 1);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    const Node& node = g.node(v);
+    std::uint32_t s = succ_off_[v];
+    for (std::uint8_t i = 0; i < node.out_count; ++i)
+      succ_[s++] = node.out[i];
+    for (std::uint8_t i = 0; i < node.in_count; ++i)
+      pred_[pred_cursor[v]++] = node.in[i];
+
+    // Node-kind flags from the inline arrays (identical to the Graph
+    // predicates; super-final edges never make the final node a touch).
+    bool has_future_out = false, has_cont_out = false, has_touch_out = false;
+    for (std::uint8_t i = 0; i < node.out_count; ++i) {
+      has_future_out |= node.out[i].kind == EdgeKind::Future;
+      has_cont_out |= node.out[i].kind == EdgeKind::Continuation;
+      has_touch_out |= node.out[i].kind == EdgeKind::Touch;
+    }
+    if (node.out_count == 2 && has_future_out && has_cont_out)
+      flags_[v] |= kFork;
+    if (has_touch_out) flags_[v] |= kFutureParent;
+    for (std::uint8_t i = 0; i < node.in_count; ++i)
+      if (node.in[i].kind == EdgeKind::Touch) flags_[v] |= kTouch;
+  }
+  for (const NodeId p : g.super_final_preds())
+    pred_[pred_cursor[final_]++] = HalfEdge{p, EdgeKind::Touch};
+
+  // Precomputed per-node relations the execution loops ask for per node.
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    const Node& node = g.node(v);
+    if (is_fork(v)) {
+      for (std::uint8_t i = 0; i < node.out_count; ++i) {
+        if (node.out[i].kind == EdgeKind::Future)
+          left_child_[v] = node.out[i].node;
+        else if (node.out[i].kind == EdgeKind::Continuation)
+          right_child_[v] = node.out[i].node;
+      }
+    }
+    if (is_touch(v)) {
+      for (std::uint8_t i = 0; i < node.in_count; ++i)
+        if (node.in[i].kind == EdgeKind::Touch)
+          future_parent_[v] = node.in[i].node;
+      const ThreadId ft = g.thread_of(future_parent_[v]);
+      corr_fork_[v] = g.thread_info(ft).fork_node;
+    }
+  }
+}
+
+}  // namespace wsf::core

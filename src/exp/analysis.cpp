@@ -461,7 +461,8 @@ std::string render_dat(const Table& wide, const Figure& fig) {
   return os.str();
 }
 
-std::string render_gp(const Figure& fig, const std::string& title) {
+std::string render_gp(const Figure& fig, const std::string& title,
+                      bool categorical_x) {
   std::ostringstream os;
   os << "# gnuplot script regenerated by wsf-plot — run: gnuplot "
      << fig.family << ".gp\n";
@@ -473,9 +474,19 @@ std::string render_gp(const Figure& fig, const std::string& title) {
   os << "set key outside right top\n";
   os << "set grid\n";
   os << "set datafile missing 'NaN'\n";
-  os << "plot for [i=2:" << fig.series.size() + 1 << "] '" << fig.family
-     << ".dat' using 1:i with linespoints lw 2 pt 7 title "
-     << "columnheader(i)\n";
+  if (categorical_x) {
+    // A non-numeric x axis (layout, policy, family) plots by row ordinal
+    // with the x cell as the tic label — `using 1:i` would silently drop
+    // every point.
+    os << "set xtics rotate by -25\n";
+    os << "plot for [i=2:" << fig.series.size() + 1 << "] '" << fig.family
+       << ".dat' using 0:i:xtic(1) with linespoints lw 2 pt 7 title "
+       << "columnheader(i)\n";
+  } else {
+    os << "plot for [i=2:" << fig.series.size() + 1 << "] '" << fig.family
+       << ".dat' using 1:i with linespoints lw 2 pt 7 title "
+       << "columnheader(i)\n";
+  }
   return os.str();
 }
 
@@ -611,7 +622,8 @@ Figure render_figure(const Table& sweep, const std::string& family,
   std::vector<std::string> series_cols = opts.series_columns;
   if (series_cols.empty()) {
     for (const char* cand : {"policy", "touch_enable", "cache_lines",
-                             "size", "size2", "backend", "run"})
+                             "procs", "layout", "size", "size2", "backend",
+                             "run"})
       if (std::string(cand) != fig.x && rows.has_column(cand) &&
           distinct(rows, cand).size() > 1)
         series_cols.push_back(cand);
@@ -624,10 +636,12 @@ Figure render_figure(const Table& sweep, const std::string& family,
     for (const std::string& col : series_cols) {
       std::string part;
       if (col == "policy" || col == "touch_enable" || col == "run" ||
-          col == "backend")
+          col == "backend" || col == "layout")
         part = r.get(col);
       else if (col == "cache_lines")
         part = "C=" + r.get(col);
+      else if (col == "procs")
+        part = "P=" + r.get(col);
       else
         part = col + "=" + r.get(col);
       label += (label.empty() ? "" : " ") + part;
@@ -659,9 +673,17 @@ Figure render_figure(const Table& sweep, const std::string& family,
   WSF_REQUIRE(any_point && fig.points > 0,
               "figure '" << family << "' has no data points");
 
+  // Categorical x (layout, policy, …): any non-numeric cell switches the
+  // gnuplot script to ordinal-position plotting with xtic labels.
+  bool categorical_x = false;
+  for (std::size_t r = 0; r < wide.num_rows() && !categorical_x; ++r) {
+    double v = 0.0;
+    if (!support::cell_to_number(wide.cell(r, 0), &v)) categorical_x = true;
+  }
+
   const std::string title = defaults.title;
   fig.dat = render_dat(wide, fig);
-  fig.gp = render_gp(fig, title);
+  fig.gp = render_gp(fig, title, categorical_x);
   fig.ascii = render_ascii(wide, fig, title);
   return fig;
 }

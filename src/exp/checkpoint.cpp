@@ -53,6 +53,7 @@ void check_row_matches_config(const std::vector<std::string>& headers,
   expected["policy"] = to_string(config.options.policy);
   expected["touch_enable"] = to_string(config.options.touch_enable);
   expected["cache_lines"] = std::to_string(config.options.cache_lines);
+  expected["layout"] = core::to_string(config.layout);
   expected["replicates"] = std::to_string(seeds);
   for (std::size_t c = 0; c < headers.size() && c < cells.size(); ++c) {
     const auto it = expected.find(headers[c]);
@@ -88,7 +89,8 @@ std::vector<std::string> checkpoint_headers() {
 std::string spec_signature(const SweepSpec& spec) {
   const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
   const std::size_t configs = spec.backends.size() * axes.size() *
-                              spec.cache_lines.size() * spec.procs.size() *
+                              spec.cache_lines.size() *
+                              spec.layouts.size() * spec.procs.size() *
                               spec.policies.size() *
                               spec.touch_enables.size();
   // The stall probability must be encoded losslessly (%.17g, not the
@@ -114,6 +116,9 @@ std::string spec_signature(const SweepSpec& spec) {
     os << to_string(t) << ';';
   os << " cache_lines=";
   for (const std::size_t c : spec.cache_lines) os << c << ';';
+  os << " layouts=";
+  for (const core::NodeOrderKind k : spec.layouts)
+    os << core::to_string(k) << ';';
   os << " cache_policy=" << spec.cache_policy << " stall=" << stall
      << " seeds=" << spec.seeds << " seed_base=" << spec.seed_base
      << " max_steps=" << spec.max_steps;

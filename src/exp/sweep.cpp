@@ -58,35 +58,44 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
               "sweep needs at least one touch-enable rule");
   WSF_REQUIRE(!spec.cache_lines.empty(),
               "sweep needs at least one cache geometry (0 = no cache)");
+  WSF_REQUIRE(!spec.layouts.empty(),
+              "sweep needs at least one node layout order");
   WSF_REQUIRE(spec.seeds >= 1, "sweep needs at least one seed replicate");
 
   const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
   std::vector<SweepConfig> configs;
   configs.reserve(spec.backends.size() * axes.size() *
-                  spec.cache_lines.size() * spec.procs.size() *
-                  spec.policies.size() * spec.touch_enables.size());
+                  spec.cache_lines.size() * spec.layouts.size() *
+                  spec.procs.size() * spec.policies.size() *
+                  spec.touch_enables.size());
   for (const BackendKind backend : spec.backends) {
     for (std::size_t gi = 0; gi < axes.size(); ++gi) {
       for (std::size_t ci = 0; ci < spec.cache_lines.size(); ++ci) {
-        for (const std::uint32_t procs : spec.procs) {
-          for (const core::ForkPolicy policy : spec.policies) {
-            for (const sched::TouchEnable touch : spec.touch_enables) {
-              SweepConfig cfg;
-              cfg.family = axes[gi].family;
-              cfg.params = axes[gi].params;
-              cfg.params.cache_lines = spec.cache_lines[ci];
-              // Both backends of one grid point replay one shared graph.
-              cfg.graph_index = gi * spec.cache_lines.size() + ci;
-              cfg.backend = backend;
-              cfg.options.procs = procs;
-              cfg.options.policy = policy;
-              cfg.options.touch_enable = touch;
-              cfg.options.cache_lines = spec.cache_lines[ci];
-              cfg.options.cache_policy = spec.cache_policy;
-              cfg.options.stall_prob = spec.stall_prob;
-              cfg.options.seed = spec.seed_base;
-              cfg.options.max_steps = spec.max_steps;
-              configs.push_back(cfg);
+        for (std::size_t li = 0; li < spec.layouts.size(); ++li) {
+          for (const std::uint32_t procs : spec.procs) {
+            for (const core::ForkPolicy policy : spec.policies) {
+              for (const sched::TouchEnable touch : spec.touch_enables) {
+                SweepConfig cfg;
+                cfg.family = axes[gi].family;
+                cfg.params = axes[gi].params;
+                cfg.params.cache_lines = spec.cache_lines[ci];
+                // Both backends of one grid point replay one shared graph
+                // (generate_graphs order: axes × cache_lines × layouts).
+                cfg.graph_index =
+                    (gi * spec.cache_lines.size() + ci) * spec.layouts.size() +
+                    li;
+                cfg.backend = backend;
+                cfg.layout = spec.layouts[li];
+                cfg.options.procs = procs;
+                cfg.options.policy = policy;
+                cfg.options.touch_enable = touch;
+                cfg.options.cache_lines = spec.cache_lines[ci];
+                cfg.options.cache_policy = spec.cache_policy;
+                cfg.options.stall_prob = spec.stall_prob;
+                cfg.options.seed = spec.seed_base;
+                cfg.options.max_steps = spec.max_steps;
+                configs.push_back(cfg);
+              }
             }
           }
         }
@@ -99,12 +108,28 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
 std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec) {
   const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
   std::vector<graphs::GeneratedDag> out;
-  out.reserve(axes.size() * spec.cache_lines.size());
+  out.reserve(axes.size() * spec.cache_lines.size() * spec.layouts.size());
   for (const GraphAxis& axis : axes) {
     for (const std::size_t lines : spec.cache_lines) {
       graphs::RegistryParams params = axis.params;
       params.cache_lines = lines;
-      out.push_back(graphs::make_named(axis.family, params));
+      const graphs::GeneratedDag base = graphs::make_named(axis.family,
+                                                           params);
+      for (const core::NodeOrderKind kind : spec.layouts) {
+        if (kind == core::NodeOrderKind::Construction) {
+          out.push_back(base);
+          continue;
+        }
+        // Same DAG, nodes renumbered into the layout order; the random
+        // order is seeded from the axis seed so the grid stays
+        // reproducible from the spec alone.
+        const core::NodeOrder order =
+            sched::make_node_order(base.graph, kind, axis.params.seed);
+        graphs::GeneratedDag variant = base;
+        variant.graph = core::relabeled_graph(base.graph, order.new_id_of);
+        variant.name = base.name + "@" + core::to_string(kind);
+        out.push_back(std::move(variant));
+      }
     }
   }
   return out;
@@ -159,7 +184,8 @@ double stderr_of(const support::Accumulator& acc) {
 
 std::vector<std::string> sweep_table_headers() {
   return {"backend", "family", "size", "size2", "nodes", "span", "touches",
-          "procs", "policy", "touch_enable", "cache_lines", "replicates",
+          "procs", "policy", "touch_enable", "cache_lines", "layout",
+          "replicates",
           "mean_deviations", "stderr_deviations", "mean_additional_misses",
           "stderr_additional_misses", "mean_seq_misses", "mean_steals",
           "stderr_steals", "mean_steps", "mean_declined_steals",
@@ -187,6 +213,7 @@ void add_sweep_row(support::Table& table, const SweepConfig& c,
       .add(to_string(c.options.policy))
       .add(to_string(c.options.touch_enable))
       .add(static_cast<std::uint64_t>(c.options.cache_lines))
+      .add(core::to_string(c.layout))
       .add(static_cast<std::uint64_t>(cell.deviations.count()))
       .add(cell.deviations.mean())
       .add(stderr_of(cell.deviations))

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/layout.hpp"
 #include "core/policy.hpp"
 #include "core/traversal.hpp"
 #include "exp/backend.hpp"
@@ -61,6 +62,15 @@ struct SweepSpec {
   std::vector<sched::TouchEnable> touch_enables = {
       sched::TouchEnable::TouchFirst};
   std::vector<std::size_t> cache_lines = {0};
+  /// Node memory-layout orders (core/layout.hpp): each grid point's graph
+  /// is relabeled into the given order before anything runs, making layout
+  /// an experimental axis — block ids and the cache simulation see the
+  /// permuted node numbering while the schedule-structure measures
+  /// (deviations, steals) are invariant under it (tests/test_layout.cpp).
+  /// The `sequential` kind uses the default-policy 1-processor baseline
+  /// order; `random` is seeded from each axis's params.seed.
+  std::vector<core::NodeOrderKind> layouts = {
+      core::NodeOrderKind::Construction};
   std::string cache_policy = "lru";
   double stall_prob = 0.2;
   /// Replicates per configuration (random schedule seeds).
@@ -84,6 +94,8 @@ struct SweepConfig {
   std::size_t graph_index = 0;
   /// Execution engine this configuration runs on.
   BackendKind backend = BackendKind::Sim;
+  /// Node memory-layout order the referenced graph was relabeled into.
+  core::NodeOrderKind layout = core::NodeOrderKind::Construction;
   sched::SimOptions options;
 };
 
@@ -135,8 +147,8 @@ SweepSpec smoke_spec();
 
 /// Expands the spec into its configuration list (no graphs generated, no
 /// simulation). Order: backends × graphs (each axis expanded over its size
-/// list) × cache_lines × procs × policies × touch_enables, innermost last
-/// — the row order of every emitter below.
+/// list) × cache_lines × layouts × procs × policies × touch_enables,
+/// innermost last — the row order of every emitter below.
 std::vector<SweepConfig> expand_spec(const SweepSpec& spec);
 
 /// The spec's graph axes with per-family size lists flattened into one
@@ -145,9 +157,10 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec);
 std::vector<GraphAxis> flatten_graph_axes(const SweepSpec& spec);
 
 /// Generates the shared graph list referenced by SweepConfig::graph_index:
-/// one graph per (flattened graph axis, cache_lines) pair, in axis-major
-/// order. Configurations differing only in backend / P / policy / touch
-/// rule share one generated graph.
+/// one graph per (flattened graph axis, cache_lines, layout) triple, in
+/// axis-major order. Non-construction layouts are relabelings of the same
+/// base graph (core::relabeled_graph). Configurations differing only in
+/// backend / P / policy / touch rule share one generated graph.
 std::vector<graphs::GeneratedDag> generate_graphs(const SweepSpec& spec);
 
 /// Runs `seed_count` replicate simulator experiments (seeds seed_base …

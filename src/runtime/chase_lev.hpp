@@ -134,10 +134,38 @@ class ChaseLevDeque {
     return bigger;
   }
 
+  friend struct ChaseLevAudit;
+
+  // top_ is CAS-hammered by thieves; bottom_ is the owner's hot index;
+  // array_ changes only on grow but is loaded on every operation. Each owns
+  // a cache line so a steal never invalidates the owner's push/pop line and
+  // a push never bounces the thieves' top_ line (ChaseLevAudit verifies).
   alignas(64) std::atomic<std::int64_t> top_{0};
   alignas(64) std::atomic<std::int64_t> bottom_{0};
   alignas(64) std::atomic<Array*> array_;
   std::vector<Array*> retired_;  // owner-only (grow happens on the owner)
 };
+
+/// Compile-time false-sharing audit of the deque's shared indices.
+/// offsetof on a non-standard-layout class is conditionally-supported; GCC
+/// and Clang both evaluate it for this layout, so only the warning needs
+/// suppressing.
+struct ChaseLevAudit {
+  using Deque = ChaseLevDeque<void*>;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+  static constexpr std::size_t top = offsetof(Deque, top_);
+  static constexpr std::size_t bottom = offsetof(Deque, bottom_);
+  static constexpr std::size_t array = offsetof(Deque, array_);
+#pragma GCC diagnostic pop
+};
+
+static_assert(alignof(ChaseLevDeque<void*>) == 64,
+              "deque must start on a cache line");
+static_assert(ChaseLevAudit::top / 64 != ChaseLevAudit::bottom / 64,
+              "thief index and owner index must not share a cache line");
+static_assert(ChaseLevAudit::bottom / 64 != ChaseLevAudit::array / 64 &&
+                  ChaseLevAudit::top / 64 != ChaseLevAudit::array / 64,
+              "array pointer must not share a line with either index");
 
 }  // namespace wsf::runtime

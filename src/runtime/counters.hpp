@@ -115,6 +115,19 @@ struct alignas(64) WorkerCounters {
   WorkerCounters& operator-=(const WorkerCounters& o);
 };
 
+// ---- false-sharing audit (compile-time) ----
+// Each worker's counter block must start on its own cache line and occupy
+// whole lines, so one worker's single-writer increments never invalidate a
+// neighbour's counters (the blocks sit contiguously in Scheduler::baseline_
+// and CountersReport::per_worker). The increments compile to plain adds
+// (see RelaxedCounter); these asserts keep the layout half of that bargain.
+static_assert(sizeof(RelaxedCounter) == sizeof(std::uint64_t),
+              "RelaxedCounter must stay a bare counter word");
+static_assert(alignof(WorkerCounters) == 64,
+              "WorkerCounters must be cache-line aligned");
+static_assert(sizeof(WorkerCounters) % 64 == 0,
+              "WorkerCounters must occupy whole cache lines");
+
 /// live − baseline, field-wise saturating — the delta of one measurement
 /// window (a job, a bench phase) against a snapshot taken at its start.
 /// The per-job counter reports the scheduler attaches to JobHandles are

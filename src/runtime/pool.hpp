@@ -164,6 +164,7 @@ class Worker {
 
  private:
   friend class wsf::runtime::Scheduler;
+  friend struct WorkerAudit;  // tests/test_false_sharing.cpp
 
   Job* find_work();
   void execute(Job* job);
@@ -174,12 +175,19 @@ class Worker {
   void recycle(Fiber* f);
   void publish_pending_park();
 
+  // ---- false-sharing layout (audited by tests/test_false_sharing.cpp) ----
+  // The deque indices and the counters are the only Worker state other
+  // threads touch (thieves CAS deque_.top_; snapshot readers scan
+  // counters_). Both are line-aligned — their types already force this, but
+  // the explicit alignas pins the intent against type changes — so the cold
+  // header fields above deque_ and the owner-only scratch below counters_
+  // never share a line with cross-thread traffic.
   Scheduler& sched_;
   std::uint32_t id_;
   std::size_t stack_bytes_;
-  ChaseLevDeque<Job*> deque_;
+  alignas(64) ChaseLevDeque<Job*> deque_;
   support::Xoshiro256 rng_;
-  WorkerCounters counters_;
+  alignas(64) WorkerCounters counters_;
 
   // Scheduler-context scratch used by the suspend protocols.
   ucontext_t sched_ctx_{};

@@ -10,14 +10,13 @@
 
 namespace wsf::runtime {
 
-GraphReplayer::GraphReplayer(const core::Graph& g) : g_(g) {
+GraphReplayer::GraphReplayer(const core::Graph& g) : g_(g), layout_(g) {
   const std::size_t n = g_.num_nodes();
   event_index_.assign(n, -1);
   std::size_t count = 0;
   for (core::NodeId v = 0; v < static_cast<core::NodeId>(n); ++v) {
-    const core::Node& node = g_.node(v);
-    for (std::uint8_t i = 0; i < node.out_count; ++i)
-      if (node.out[i].kind == core::EdgeKind::Touch)
+    for (const core::HalfEdge& out : layout_.successors(v))
+      if (out.kind == core::EdgeKind::Touch)
         event_index_[v] = static_cast<std::int32_t>(count++);
   }
   event_count_ = count;
@@ -32,11 +31,11 @@ detail::FutureStateBase& GraphReplayer::event_of(core::NodeId producer) {
 }
 
 detail::FutureStateBase* GraphReplayer::unready_gate(core::NodeId v) {
-  if (g_.is_touch(v)) {
-    detail::FutureStateBase& e = event_of(g_.future_parent_of(v));
+  if (layout_.is_touch(v)) {
+    detail::FutureStateBase& e = event_of(layout_.future_parent_of(v));
     if (!e.ready()) return &e;
   }
-  if (v == g_.final_node())
+  if (v == layout_.final_node())
     for (const core::NodeId pred : g_.super_final_preds()) {
       detail::FutureStateBase& e = event_of(pred);
       if (!e.ready()) return &e;
@@ -48,9 +47,9 @@ void GraphReplayer::wait_gates(core::NodeId v) {
   // Figure 3 hazard accounting, mirroring the simulator: the consumer
   // reached a touch that is not ready although the fork spawning its future
   // thread has not even executed (impossible in structured computations).
-  if (g_.is_touch(v) && v != g_.final_node() &&
-      !event_of(g_.future_parent_of(v)).ready()) {
-    const core::NodeId fork = g_.corresponding_fork_of(v);
+  if (layout_.is_touch(v) && v != layout_.final_node() &&
+      !event_of(layout_.future_parent_of(v)).ready()) {
+    const core::NodeId fork = layout_.corresponding_fork_of(v);
     if (fork != core::kInvalidNode &&
         !executed_[fork].load(std::memory_order_relaxed))
       premature_.fetch_add(1, std::memory_order_relaxed);
@@ -104,9 +103,10 @@ void GraphReplayer::run_thread(core::ThreadId tid) {
     wait_gates(v);
     record(v);
     core::NodeId cont = core::kInvalidNode;
-    if (g_.is_fork(v)) {
-      cont = g_.fork_right_child(v);
-      const core::ThreadId child = g_.thread_of(g_.fork_left_child(v));
+    if (layout_.is_fork(v)) {
+      cont = layout_.fork_right_child(v);
+      const core::ThreadId child =
+          layout_.thread_of(layout_.fork_left_child(v));
       // A real future per spawned thread; the scheduler's SpawnPolicy (the
       // fork policy) decides whether the child runs inline with the parent
       // continuation pushed (future-first) or is pushed while the parent
@@ -115,13 +115,12 @@ void GraphReplayer::run_thread(core::ThreadId tid) {
       // task the scheduler's quiescence tracking waits for.
       (void)spawn([this, child] { run_thread(child); });
     } else {
-      const core::Node& node = g_.node(v);
       core::NodeId touch_target = core::kInvalidNode;
-      for (std::uint8_t i = 0; i < node.out_count; ++i) {
-        if (node.out[i].kind == core::EdgeKind::Continuation)
-          cont = node.out[i].node;
-        else if (node.out[i].kind == core::EdgeKind::Touch)
-          touch_target = node.out[i].node;
+      for (const core::HalfEdge& out : layout_.successors(v)) {
+        if (out.kind == core::EdgeKind::Continuation)
+          cont = out.node;
+        else if (out.kind == core::EdgeKind::Touch)
+          touch_target = out.node;
       }
       if (touch_target != core::kInvalidNode) publish(v, cont);
     }
@@ -151,14 +150,16 @@ void GraphReplayer::prepare(std::uint32_t workers,
 
 void GraphReplayer::submit(Scheduler& sched, const ReplayOptions& opts) {
   prepare(sched.num_workers(), opts);
-  handle_ = sched.submit([this] { run_thread(g_.thread_of(g_.root())); },
-                         {.counters = opts.job_counters});
+  handle_ = sched.submit(
+      [this] { run_thread(layout_.thread_of(layout_.root())); },
+      {.counters = opts.job_counters});
 }
 
 void GraphReplayer::stage(Batch& batch, const ReplayOptions& opts) {
   prepare(batch.scheduler().num_workers(), opts);
-  handle_ = batch.add([this] { run_thread(g_.thread_of(g_.root())); },
-                      {.counters = opts.job_counters});
+  handle_ = batch.add(
+      [this] { run_thread(layout_.thread_of(layout_.root())); },
+      {.counters = opts.job_counters});
 }
 
 ReplayResult GraphReplayer::collect() {

@@ -10,8 +10,9 @@
 
 namespace wsf::sched {
 
-SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
-  const std::size_t n = g.num_nodes();
+SeqResult run_sequential(const core::GraphLayout& layout,
+                         const SimOptions& opts) {
+  const std::size_t n = layout.num_nodes();
   SeqResult result;
   result.order.reserve(n);
   result.position.assign(n, 0);
@@ -24,16 +25,16 @@ SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
   // last predecessor executes.
   std::vector<std::uint32_t> pending(n);
   for (core::NodeId v = 0; v < static_cast<core::NodeId>(n); ++v)
-    pending[v] = static_cast<std::uint32_t>(g.in_degree(v));
+    pending[v] = layout.in_degree(v);
 
   std::vector<core::NodeId> deque;  // bottom = back (LIFO for the owner)
-  core::NodeId current = g.root();
+  core::NodeId current = layout.root();
 
   while (true) {
     // ---- execute `current` ----
-    const core::Node& node = g.node(current);
-    if (cache && node.block != core::kNoBlock) {
-      if (cache->access(node.block)) ++result.misses;
+    const core::BlockId block = layout.block_of(current);
+    if (cache && block != core::kNoBlock) {
+      if (cache->access(block)) ++result.misses;
     }
     result.position[current] = static_cast<std::uint32_t>(result.order.size());
     result.order.push_back(current);
@@ -41,10 +42,9 @@ SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
     // ---- collect children enabled by this execution ----
     core::HalfEdge enabled[2];
     int enabled_count = 0;
-    for (std::uint8_t i = 0; i < node.out_count; ++i) {
-      const core::NodeId succ = node.out[i].node;
-      WSF_DCHECK(pending[succ] > 0);
-      if (--pending[succ] == 0) enabled[enabled_count++] = node.out[i];
+    for (const core::HalfEdge& out : layout.successors(current)) {
+      WSF_DCHECK(pending[out.node] > 0);
+      if (--pending[out.node] == 0) enabled[enabled_count++] = out;
     }
 
     // ---- choose the next node (parsimonious discipline) ----
@@ -54,7 +54,7 @@ SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
       // unless both are touch edges (super-final producer), where order is
       // immaterial (the final node runs last anyway).
       int take = 0;
-      if (g.is_fork(current)) {
+      if (layout.is_fork(current)) {
         const bool take_future =
             opts.policy == core::ForkPolicy::FutureFirst;
         take = (enabled[0].kind == core::EdgeKind::Future) == take_future
@@ -84,6 +84,32 @@ SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
                 << result.order.size() << " of " << n
                 << " nodes — the DAG is not well formed");
   return result;
+}
+
+SeqResult run_sequential(const core::Graph& g, const SimOptions& opts) {
+  return run_sequential(core::GraphLayout(g), opts);
+}
+
+core::NodeOrder make_node_order(const core::Graph& g,
+                                core::NodeOrderKind kind,
+                                std::uint64_t seed) {
+  switch (kind) {
+    case core::NodeOrderKind::Construction:
+      return core::construction_order(g);
+    case core::NodeOrderKind::Dfs:
+      return core::dfs_order(g);
+    case core::NodeOrderKind::Random:
+      return core::random_order(g, seed);
+    case core::NodeOrderKind::Sequential: {
+      // Canonical baseline walk: default SimOptions (future-first,
+      // touch-first, no cache — cache settings cannot change the order).
+      const SeqResult seq = run_sequential(g, SimOptions{});
+      return core::order_from_sequence(g, core::NodeOrderKind::Sequential,
+                                       seq.order);
+    }
+  }
+  WSF_REQUIRE(false, "unknown node order kind");
+  return core::construction_order(g);
 }
 
 }  // namespace wsf::sched

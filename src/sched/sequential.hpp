@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/graph.hpp"
+#include "core/layout.hpp"
 #include "sched/options.hpp"
 
 namespace wsf::sched {
@@ -27,7 +28,19 @@ struct SeqResult {
 /// Executes the whole DAG on one processor under the given fork policy and
 /// touch-enable rule, optionally simulating a cache of opts.cache_lines
 /// lines. Only `policy`, `touch_enable`, `cache_lines` and `cache_policy`
-/// of the options are consulted.
+/// of the options are consulted. The layout overload runs on an existing
+/// SoA view; the Graph overload builds a transient one.
+SeqResult run_sequential(const core::GraphLayout& layout,
+                         const SimOptions& opts);
 SeqResult run_sequential(const core::Graph& g, const SimOptions& opts);
+
+/// Builds the NodeOrder of the given kind for g. The `sequential` order is
+/// the execution order of the 1-processor baseline under the DEFAULT
+/// options (future-first, touch-first) regardless of what policy an
+/// experiment later sweeps — one canonical "as a sequential run walks
+/// memory" layout per graph. `seed` is consulted only by `random`.
+core::NodeOrder make_node_order(const core::Graph& g,
+                                core::NodeOrderKind kind,
+                                std::uint64_t seed = 1);
 
 }  // namespace wsf::sched

@@ -1,0 +1,187 @@
+// wsf-perf-diff — gate a fresh benchmark result against a checked-in
+// snapshot (bench/snapshots/BENCH_*.json), the CI perf-trajectory step.
+//
+// Rows are matched by position and must agree on every identity column
+// (family, P, workers, mix, …) exactly — a changed grid is a different
+// benchmark, not a regression. Known throughput columns (jobs_per_sec,
+// configs_per_sec) may drop and known latency columns (p99_us) may rise by
+// at most --tolerance before the diff fails; explicitly ignored columns
+// (wall_ms, p50/p95, …) are machine-noise and not gated. Deterministic
+// measure columns fall under the exact identity rule by default, so a
+// schedule-structure change (steal counts drifting) fails even when the
+// machine got faster.
+//
+//   ./build/tools/wsf-perf-diff --tolerance=0.15
+//       --baseline=bench/snapshots/BENCH_wsf_load_smoke.json
+//       --current=load-fresh.json
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace wsf;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char ch : s) {
+    if (ch == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += ch;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WSF_REQUIRE(in.good(), "cannot read '" << path << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+support::Table load_table(const std::string& path) {
+  const std::string text = slurp(path);
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  WSF_REQUIRE(first != std::string::npos, "'" << path << "' is empty");
+  return text[first] == '[' ? support::Table::from_json(text)
+                            : support::Table::from_csv(text);
+}
+
+bool contains(const std::vector<std::string>& names,
+              const std::string& name) {
+  for (const std::string& n : names)
+    if (n == name) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "wsf-perf-diff — compare a fresh benchmark JSON/CSV against a "
+      "checked-in snapshot: identity and deterministic columns must match "
+      "exactly, throughput/latency columns within --tolerance");
+  auto& baseline = args.add_string("baseline", "",
+                                   "snapshot file (JSON or CSV)");
+  auto& current = args.add_string("current", "",
+                                  "fresh result file (JSON or CSV)");
+  auto& tolerance = args.add_double(
+      "tolerance", 0.15,
+      "allowed fractional regression on the gated perf columns (0.15 = "
+      "fail when throughput drops, or latency rises, by more than 15%)");
+  auto& higher = args.add_string(
+      "higher-better", "jobs_per_sec,configs_per_sec",
+      "comma-separated throughput columns: fail when current < baseline * "
+      "(1 - tolerance)");
+  auto& lower = args.add_string(
+      "lower-better", "p99_us",
+      "comma-separated latency columns: fail when current > baseline * "
+      "(1 + tolerance)");
+  auto& ignore = args.add_string(
+      "ignore",
+      "wall_ms,mean_us,p50_us,p95_us,max_us,elapsed_ms,latency_us,"
+      "steals,migrations,stacks_reused,steady_fibers_created",
+      "comma-separated columns excluded from the diff entirely (noisy "
+      "machine-dependent wall times and scheduling-dependent runtime "
+      "counters; wsf-load --strict gates steady-state allocations itself)");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-perf-diff: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    WSF_REQUIRE(!baseline.value.empty() && !current.value.empty(),
+                "--baseline and --current are both required");
+    WSF_REQUIRE(tolerance.value >= 0.0, "--tolerance must be >= 0");
+    const support::Table base = load_table(baseline.value);
+    const support::Table cur = load_table(current.value);
+    const std::vector<std::string> higher_cols = split_list(higher.value);
+    const std::vector<std::string> lower_cols = split_list(lower.value);
+    const std::vector<std::string> ignore_cols = split_list(ignore.value);
+
+    WSF_REQUIRE(base.headers() == cur.headers(),
+                "column sets differ between '" << baseline.value
+                    << "' and '" << current.value
+                    << "' — re-capture the snapshot if the benchmark "
+                    << "format changed");
+    WSF_REQUIRE(base.num_rows() == cur.num_rows(),
+                "row counts differ: " << base.num_rows() << " vs "
+                                      << cur.num_rows()
+                                      << " — different benchmark grids");
+    WSF_REQUIRE(base.num_rows() > 0, "snapshot has no rows");
+
+    std::size_t failures = 0;
+    std::size_t gated = 0;
+    for (std::size_t c = 0; c < base.headers().size(); ++c) {
+      const std::string& name = base.headers()[c];
+      if (contains(ignore_cols, name)) continue;
+      const bool is_higher = contains(higher_cols, name);
+      const bool is_lower = contains(lower_cols, name);
+      for (std::size_t r = 0; r < base.num_rows(); ++r) {
+        const std::string& want = base.cell(r, c);
+        const std::string& got = cur.cell(r, c);
+        if (!is_higher && !is_lower) {
+          // Identity / deterministic column: exact.
+          if (want != got) {
+            ++failures;
+            std::fprintf(stderr,
+                         "FAIL row %zu %s: '%s' != snapshot '%s' "
+                         "(deterministic column)\n",
+                         r, name.c_str(), got.c_str(), want.c_str());
+          }
+          continue;
+        }
+        ++gated;
+        double b = 0.0, v = 0.0;
+        WSF_REQUIRE(support::cell_to_number(want, &b) &&
+                        support::cell_to_number(got, &v) &&
+                        std::isfinite(b) && std::isfinite(v),
+                    "row " << r << " column '" << name
+                           << "': non-numeric perf cell ('" << want
+                           << "' vs '" << got << "')");
+        const double change = b != 0.0 ? (v - b) / b : 0.0;
+        const bool regressed = is_higher ? change < -tolerance.value
+                                         : change > tolerance.value;
+        std::fprintf(stderr, "%s row %zu %-16s %12.4f -> %12.4f (%+.1f%%)\n",
+                     regressed ? "FAIL" : "  ok", r, name.c_str(), b, v,
+                     100.0 * change);
+        if (regressed) ++failures;
+      }
+    }
+    WSF_REQUIRE(gated > 0,
+                "no gated perf columns found — check --higher-better/"
+                "--lower-better against the snapshot's columns");
+    if (failures) {
+      std::fprintf(stderr,
+                   "wsf-perf-diff: %zu regression(s) beyond %.0f%% vs %s\n",
+                   failures, 100.0 * tolerance.value,
+                   baseline.value.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wsf-perf-diff: OK — within %.0f%% of %s\n",
+                 100.0 * tolerance.value, baseline.value.c_str());
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "wsf-perf-diff: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wsf-perf-diff: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

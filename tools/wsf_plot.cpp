@@ -19,6 +19,7 @@
 // is empty/NaN-only — fails the whole invocation, so CI catches output
 // drift instead of uploading blank plots.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -182,6 +183,12 @@ int main(int argc, char** argv) {
       "(mean_seq_misses)");
   auto& outdir = args.add_string("outdir", "plots",
                                  "directory for the .dat/.gp/.txt files");
+  auto& png = args.add_bool(
+      "png", false,
+      "also render <family>.png by running gnuplot on each written .gp "
+      "script; when gnuplot is not on PATH a note is printed and the "
+      ".dat/.gp/.txt outputs stand alone (the ASCII preview is always "
+      "written)");
   auto& quiet = args.add_bool(
       "quiet", false, "do not print the ASCII previews to stdout");
   // Flag parsing must not escape main: an uncaught CheckError (e.g.
@@ -246,18 +253,38 @@ int main(int argc, char** argv) {
 
     const std::filesystem::path dir(outdir.value);
     std::filesystem::create_directories(dir);
+    // The .gp scripts reference their .dat by bare filename, so gnuplot
+    // must run with the output directory as its working directory.
+    const bool have_gnuplot =
+        png.value &&
+        std::system("gnuplot --version > /dev/null 2>&1") == 0;
+    if (png.value && !have_gnuplot)
+      std::fprintf(stderr,
+                   "wsf-plot: --png requested but gnuplot is not on PATH; "
+                   "writing .dat/.gp/.txt only\n");
     for (const std::string& family : requested) {
       const exp::analysis::Figure fig =
           exp::analysis::render_figure(sweep, family, fig_opts);
       write_file(dir / (family + ".dat"), fig.dat);
       write_file(dir / (family + ".gp"), fig.gp);
       write_file(dir / (family + ".txt"), fig.ascii);
+      bool rendered_png = false;
+      if (have_gnuplot) {
+        const std::string cmd = "cd '" + dir.string() + "' && gnuplot '" +
+                                family + ".gp'";
+        // A present-but-failing gnuplot is a broken figure, not a missing
+        // renderer — fail loudly so CI never uploads silently blank plots.
+        WSF_REQUIRE(std::system(cmd.c_str()) == 0,
+                    "gnuplot failed on " << family << ".gp");
+        rendered_png = true;
+      }
       if (!quiet.value) std::fputs(fig.ascii.c_str(), stdout);
       std::fprintf(stderr,
                    "wsf-plot: %s — %zu series, %zu points -> %s/%s.{dat,"
-                   "gp,txt}\n",
+                   "gp,txt%s}\n",
                    family.c_str(), fig.series.size(), fig.points,
-                   outdir.value.c_str(), family.c_str());
+                   outdir.value.c_str(), family.c_str(),
+                   rendered_png ? ",png" : "");
     }
   } catch (const CheckError& e) {
     std::fprintf(stderr, "wsf-plot: %s\n", e.what());

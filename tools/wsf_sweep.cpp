@@ -171,6 +171,12 @@ int main(int argc, char** argv) {
   auto& cache = args.add_string("cache-lines", "0,8,16",
                                 "comma-separated cache lines per processor "
                                 "(0 = no cache simulation)");
+  auto& layout = args.add_string(
+      "layout", "construction",
+      "comma-separated node memory-layout orders (construction, dfs, "
+      "sequential, random): each graph is relabeled into the order before "
+      "anything runs, making node layout an experimental axis with its own "
+      "identity column; applies to --smoke too");
   auto& cache_policy = args.add_string("cache-policy", "lru",
                                        "lru | fifo | direct | assocW");
   auto& stall = args.add_double("stall", 0.2, "stall probability per round");
@@ -253,6 +259,11 @@ int main(int argc, char** argv) {
       spec.cache_lines = split_numbers<std::size_t>(cache.value);
       spec.seeds = static_cast<std::uint64_t>(seeds.value);
     }
+    // Like --backend, --layout applies on top of --smoke so CI can run the
+    // smoke grid under every layout order.
+    spec.layouts.clear();
+    for (const std::string& l : split_list(layout.value))
+      spec.layouts.push_back(core::node_order_from_string(l));
     spec.cache_policy = cache_policy.value;
     spec.stall_prob = stall.value;
     spec.seed_base = static_cast<std::uint64_t>(seed_base.value);
