@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -15,6 +14,7 @@
 #include "runtime/replay.hpp"
 #include "sched/sequential.hpp"
 #include "support/check.hpp"
+#include "support/thread_safety.hpp"
 
 namespace wsf::exp {
 
@@ -71,7 +71,7 @@ class RuntimeBackend final : public Backend {
     // comparison is after. The scheduler is a process-shared service; the
     // exclusive lease keeps other tenants (sweep threads measuring the
     // same pool shape) out of this cell's per-job counter deltas.
-    std::lock_guard<std::mutex> exclusive(lease_->exclusive());
+    support::LockGuard exclusive(lease_->exclusive());
     for (std::uint64_t k = 0; k < seed_count; ++k) {
       const runtime::ReplayResult r =
           replayer.run(lease_->scheduler(), replay_opts);

@@ -15,15 +15,41 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "exp/backend.hpp"
 #include "exp/sweep.hpp"
 #include "support/check.hpp"
+#include "support/thread_safety.hpp"
 
 namespace wsf::exp {
+
+namespace {
+
+/// Cross-worker state of one sweep run, with its lock discipline spelled
+/// out as capability annotations (support/thread_safety.hpp): the first
+/// failure is kept under its own mutex, and the caller's on_row hook — the
+/// checkpoint append path — is serialized by row_mutex, so hook authors
+/// may write files and mutate captures without their own locking. The
+/// result rows themselves need no lock: each worker writes only the slots
+/// of configs it owns (disjoint indices), and the join() at the end of
+/// run_sweep_expanded publishes them to the caller.
+struct SweepShared {
+  /// Set (relaxed) by the first failing worker; checked (relaxed) by every
+  /// worker before pulling the next job. relaxed on both sides: the flag
+  /// only stops *new* work from starting — the failure itself is
+  /// published by failure_mutex, and the workers' results by join() — so
+  /// no payload rides on this flag's ordering.
+  std::atomic<bool> cancelled{false};
+  support::Mutex failure_mutex;
+  /// The first exception any worker hit; later ones are dropped.
+  std::exception_ptr failure WSF_GUARDED_BY(failure_mutex);
+  /// Serializes SweepRunOptions::on_row (checkpoint appends).
+  support::Mutex row_mutex;
+};
+
+}  // namespace
 
 SweepResult run_sweep_expanded(const SweepSpec& spec,
                                const std::vector<SweepConfig>& configs,
@@ -54,6 +80,9 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
   if (workers == 0) workers = 1;
   if (workers > jobs.size()) workers = static_cast<unsigned>(jobs.size());
 
+  // The job cursor: workers claim configs with fetch_add. relaxed-ordered
+  // (the default's seq_cst is not needed): the claimed index is the only
+  // payload, and it travels in the returned value itself.
   std::atomic<std::size_t> next{0};
   // A failing configuration (controller deadlock, graph invariant breach —
   // unknown family names already threw in generate_graphs above) must
@@ -61,10 +90,7 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
   // is kept and rethrown after all workers drain; `cancelled` makes the
   // other workers stop pulling new jobs instead of grinding through the
   // rest of a doomed grid.
-  std::atomic<bool> cancelled{false};
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-  std::mutex row_mutex;  // serializes on_row (checkpoint appends)
+  SweepShared shared;
   auto work = [&] {
     // One backend instance of each kind per worker thread: backends are
     // stateful (the runtime backend keeps a live scheduler between
@@ -75,9 +101,12 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
       if (!slot) slot = make_backend(kind);
       return *slot;
     };
+    // relaxed loads/fetch_add: see the SweepShared::cancelled and `next`
+    // comments — neither flag nor cursor carries a payload beyond its own
+    // value.
     for (std::size_t j;
-         !cancelled.load(std::memory_order_relaxed) &&
-         (j = next.fetch_add(1)) < jobs.size();) {
+         !shared.cancelled.load(std::memory_order_relaxed) &&
+         (j = next.fetch_add(1, std::memory_order_relaxed)) < jobs.size();) {
       const std::size_t i = jobs[j];
       try {
         const SweepConfig& cfg = configs[i];
@@ -91,13 +120,15 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
                 std::chrono::steady_clock::now() - t0)
                 .count());
         if (opts.on_row) {
-          const std::lock_guard<std::mutex> lock(row_mutex);
+          const support::LockGuard lock(shared.row_mutex);
           opts.on_row(i, result.rows[i]);
         }
       } catch (...) {
-        cancelled.store(true, std::memory_order_relaxed);
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
+        // relaxed: stops new claims; the exception itself is published
+        // under failure_mutex below.
+        shared.cancelled.store(true, std::memory_order_relaxed);
+        const support::LockGuard lock(shared.failure_mutex);
+        if (!shared.failure) shared.failure = std::current_exception();
       }
     }
   };
@@ -110,7 +141,11 @@ SweepResult run_sweep_expanded(const SweepSpec& spec,
     for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
     for (std::thread& t : pool) t.join();
   }
-  if (failure) std::rethrow_exception(failure);
+  // The workers are joined: reading the failure slot needs no lock for
+  // correctness, but taking it keeps the capability contract unconditional
+  // (and the uncontended acquire is free).
+  const support::LockGuard lock(shared.failure_mutex);
+  if (shared.failure) std::rethrow_exception(shared.failure);
   return result;
 }
 

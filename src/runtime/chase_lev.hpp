@@ -32,14 +32,21 @@ class ChaseLevDeque {
   ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
 
   ~ChaseLevDeque() {
+    // relaxed: destruction requires external quiescence (no concurrent
+    // owner or thieves), so no ordering is carried here.
     delete array_.load(std::memory_order_relaxed);
     for (Array* a : retired_) delete a;
   }
 
   /// Owner-only: push onto the bottom.
   void push_bottom(T value) {
+    // relaxed: bottom_ is only ever written by the owner — this thread.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // acquire pairs with thieves' CAS-release on top_: the owner must see
+    // a stolen slot as free before it can overwrite it after wraparound.
     const std::int64_t t = top_.load(std::memory_order_acquire);
+    // relaxed: array_ is replaced only by the owner (grow), so the owner
+    // always sees its own latest store.
     Array* a = array_.load(std::memory_order_relaxed);
     if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
       a = grow(a, t, b);
@@ -54,24 +61,35 @@ class ChaseLevDeque {
 
   /// Owner-only: pop from the bottom. Returns nullptr when empty.
   T pop_bottom() {
+    // relaxed ×2: owner-written index, owner-replaced array (see
+    // push_bottom) — the owner reads only its own stores here.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    Array* a = array_.load(std::memory_order_relaxed);
+    Array* a = array_.load(std::memory_order_relaxed);  // see above
+    // relaxed store + seq_cst fence (Lê et al. Fig. 1): the fence makes
+    // the bottom_ decrement and the top_ read below a single point in the
+    // total order against steal_top's fence, so owner and thief cannot
+    // both see the *other*'s index as unmoved and take the same element.
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);  // see above
+    // relaxed: the fence above already orders this read; the CAS below
+    // revalidates top_ before anything irrevocable happens.
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {
-      // Deque was empty; restore.
+      // Deque was empty; restore. relaxed: owner-only index.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return nullptr;
     }
     T value = a->get(b);
     if (t == b) {
-      // Last element: race against thieves for it.
+      // Last element: race against thieves for it. seq_cst success keeps
+      // the CAS in the same total order as the fences; relaxed failure is
+      // enough because losing means a thief's seq_cst CAS already won.
       if (!top_.compare_exchange_strong(t, t + 1,
                                         std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         value = nullptr;  // a thief won
       }
+      // relaxed: owner-only index.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return value;
@@ -79,12 +97,25 @@ class ChaseLevDeque {
 
   /// Thief: steal from the top. Returns nullptr on empty or lost race.
   T steal_top() {
+    // acquire: pairs with competing thieves' CAS-release so this thief
+    // reads element slots no earlier than the top_ it based them on.
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // seq_cst fence: the counterpart of pop_bottom's fence — orders this
+    // thief's top_ read against the owner's in-flight bottom_ decrement.
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // acquire pairs with push_bottom's release store of bottom_: observing
+    // the new bottom_ makes the pushed element's payload visible (TSan
+    // models this pairing; a fence-based publish would not be seen).
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
+    // consume (≥ acquire on every implementation): pairs with grow()'s
+    // release store — the thief must see the copied elements in the
+    // replacement array, and only data-dependent loads follow.
     Array* a = array_.load(std::memory_order_consume);
     T value = a->get(t);
+    // seq_cst success: the claim must join the fence total order so the
+    // owner's last-element CAS and this one cannot both succeed. relaxed
+    // failure: a lost race returns nullptr without using any loaded data.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;  // lost the race
@@ -94,8 +125,10 @@ class ChaseLevDeque {
 
   /// Racy size estimate (monitoring only).
   std::size_t size_estimate() const {
+    // relaxed ×2: a monitoring probe; staleness is acceptable by contract
+    // and no payload is read based on these indices.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);  // ditto
     return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
 
@@ -107,13 +140,17 @@ class ChaseLevDeque {
       slots = new std::atomic<T>[cap];
     }
     ~Array() { delete[] slots; }
+    // Slot accesses are relaxed: element visibility rides on the index
+    // publications (push_bottom's release store of bottom_, grow()'s
+    // release store of array_) — a slot is read only under an index the
+    // reader obtained through one of those.
     T get(std::int64_t i) const {
       return slots[i & static_cast<std::int64_t>(mask)].load(
-          std::memory_order_relaxed);
+          std::memory_order_relaxed);  // see the slot-access comment above
     }
     void put(std::int64_t i, T v) {
       slots[i & static_cast<std::int64_t>(mask)].store(
-          v, std::memory_order_relaxed);
+          v, std::memory_order_relaxed);  // see the slot-access comment above
     }
     std::size_t capacity;
     std::size_t mask;
@@ -129,6 +166,8 @@ class ChaseLevDeque {
   Array* grow(Array* old, std::int64_t t, std::int64_t b) {
     auto* bigger = new Array(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    // release publishes the copied elements with the new array pointer;
+    // pairs with steal_top's consume load.
     array_.store(bigger, std::memory_order_release);
     retired_.push_back(old);
     return bigger;

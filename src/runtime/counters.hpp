@@ -26,14 +26,19 @@ class RelaxedCounter {
   RelaxedCounter() noexcept = default;
   RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
   RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    // relaxed: counters are statistics — snapshots tolerate skew between
+    // cells; exactness holds at quiescence (see the class comment).
     v_.store(o.load(), std::memory_order_relaxed);
     return *this;
   }
   RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    // relaxed: same statistics contract as above.
     v_.store(v, std::memory_order_relaxed);
     return *this;
   }
   std::uint64_t load() const noexcept {
+    // relaxed: atomicity (no torn reads) is all a cross-thread snapshot
+    // needs; no payload is published through a counter value.
     return v_.load(std::memory_order_relaxed);
   }
   operator std::uint64_t() const noexcept { return load(); }
@@ -44,10 +49,13 @@ class RelaxedCounter {
   RelaxedCounter& operator++() noexcept { return *this += 1; }
   std::uint64_t operator++(int) noexcept {
     const std::uint64_t old = load();
+    // relaxed: single-writer (see above), so load+store cannot lose an
+    // update and needs no ordering.
     v_.store(old + 1, std::memory_order_relaxed);
     return old;
   }
   RelaxedCounter& operator+=(std::uint64_t d) noexcept {
+    // relaxed: single-writer load+store, as above.
     v_.store(load() + d, std::memory_order_relaxed);
     return *this;
   }

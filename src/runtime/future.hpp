@@ -44,12 +44,19 @@ struct FutureStateBase {
   virtual ~FutureStateBase() = default;
 
   bool ready() const {
+    // acquire pairs with publish_ready's release half: observing kReady
+    // makes the produced value (FutureState::storage, error) visible to
+    // the consumer that goes on to take() it.
     return state.load(std::memory_order_acquire) == kReady;
   }
 
   /// Producer side: publish readiness; returns the parked consumer fiber to
   /// resume, or nullptr if none was waiting.
   Fiber* publish_ready() {
+    // acq_rel: the release half publishes the produced value to consumers
+    // (ready()'s acquire / try_park's acquire-on-failure); the acquire half
+    // pairs with try_park's release so the producer sees the parked fiber's
+    // fully-suspended state before resuming it.
     const std::uintptr_t prev =
         state.exchange(kReady, std::memory_order_acq_rel);
     if (prev == kEmpty || prev == kReady) return nullptr;
@@ -61,6 +68,10 @@ struct FutureStateBase {
   /// the meantime and the fiber should be resumed immediately.
   bool try_park(Fiber* f) {
     std::uintptr_t expected = kEmpty;
+    // success release: publishes the suspended fiber's saved context to the
+    // producer (publish_ready's acquire half). failure acquire: the value
+    // already arrived — pairs with publish_ready's release half so the
+    // immediate resume path sees the payload.
     return state.compare_exchange_strong(
         expected, reinterpret_cast<std::uintptr_t>(f),
         std::memory_order_release, std::memory_order_acquire);

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <tuple>
 #include <utility>
+
+#include "support/thread_safety.hpp"
 
 namespace wsf::runtime {
 namespace detail {
@@ -60,6 +61,8 @@ void Worker::main_loop() {
       execute(job);
       continue;
     }
+    // acquire pairs with the destructor's release-store: after stop reads
+    // true the drained state (no jobs in flight) is visible too.
     if (sched_.stop_.load(std::memory_order_acquire)) break;
     if (++idle_spins < 64) {
       std::this_thread::yield();
@@ -71,6 +74,8 @@ void Worker::main_loop() {
     // window), then wait until the epoch moves, stop is requested, or a
     // timeout re-arms the steal loop — work pushed onto a peer's deque
     // does not bump the epoch, so sleepers must still poll for steals.
+    // acquire pairs with the admission-side release bump: a worker that
+    // observes a moved epoch also observes the job that caused it.
     const std::uint64_t epoch =
         sched_.work_epoch_.load(std::memory_order_acquire);
     if ((job = find_work()) != nullptr) {
@@ -79,9 +84,11 @@ void Worker::main_loop() {
       continue;
     }
     {
-      std::unique_lock<std::mutex> lock(sched_.idle_mutex_);
+      support::UniqueLock lock(sched_.idle_mutex_);
       sched_.idle_cv_.wait_for(
           lock, std::chrono::microseconds(100), [&] {
+            // Both acquire: see the comment on the pre-lock epoch read;
+            // stop additionally orders the destructor's drained state.
             return sched_.work_epoch_.load(std::memory_order_acquire) !=
                        epoch ||
                    sched_.stop_.load(std::memory_order_acquire);
@@ -296,14 +303,19 @@ Scheduler::Scheduler(const RuntimeOptions& opts) : opts_(opts) {
 Scheduler::~Scheduler() {
   drain();
   {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    support::LockGuard lock(idle_mutex_);
+    // Both release, and under idle_mutex_ so parked workers cannot miss
+    // the wake: a worker re-checks its predicate while holding the lock.
     stop_.store(true, std::memory_order_release);
-    work_epoch_.fetch_add(1, std::memory_order_release);
+    work_epoch_.fetch_add(1, std::memory_order_release);  // see above
   }
   idle_cv_.notify_all();
   for (auto& t : threads_) t.join();
   // drain() emptied the inbox; defensive cleanup if a job was admitted
-  // concurrently with destruction (a contract violation).
+  // concurrently with destruction (a contract violation). Locked even
+  // though the workers are gone — inbox_ is guarded by inbox_mutex_, and
+  // the uncontended acquire is cheaper than carving out an exemption.
+  support::LockGuard lock(inbox_mutex_);
   for (detail::Job* j : inbox_) delete j;
 }
 
@@ -320,13 +332,17 @@ std::shared_ptr<detail::JobState> Scheduler::make_job_state(
 }
 
 void Scheduler::inject(std::unique_ptr<detail::Job> job) {
+  // relaxed: moving away from quiescence wakes nobody; only the decrement
+  // back toward zero (complete_job) participates in the cv protocol.
   jobs_in_flight_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    support::LockGuard lock(inbox_mutex_);
     inbox_.push_back(job.release());
   }
   {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    support::LockGuard lock(idle_mutex_);
+    // release, under idle_mutex_: pairs with the idle loop's acquire reads
+    // and closes the miss/park race (see the work_epoch_ declaration).
     work_epoch_.fetch_add(1, std::memory_order_release);
   }
   idle_cv_.notify_all();
@@ -336,15 +352,19 @@ void Scheduler::submit(Batch&& batch) {
   WSF_REQUIRE(batch.sched_ == this,
               "batch was staged for a different scheduler");
   if (batch.staged_.empty()) return;
+  // relaxed: same reasoning as inject() — admission only moves the count
+  // away from drain()'s wake condition.
   jobs_in_flight_.fetch_add(batch.staged_.size(),
                             std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    support::LockGuard lock(inbox_mutex_);
     for (auto& job : batch.staged_) inbox_.push_back(job.release());
   }
   batch.staged_.clear();
   {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    support::LockGuard lock(idle_mutex_);
+    // release, under idle_mutex_: one bump + notify admits the whole batch
+    // (see the work_epoch_ declaration for the protocol).
     work_epoch_.fetch_add(1, std::memory_order_release);
   }
   idle_cv_.notify_all();
@@ -357,7 +377,9 @@ void Scheduler::abandon(std::unique_ptr<detail::Job> job) {
   std::shared_ptr<detail::JobState> js = std::move(job->job);
   job.reset();
   {
-    std::lock_guard<std::mutex> lock(quiescent_mutex_);
+    support::LockGuard lock(quiescent_mutex_);
+    // release (under quiescent_mutex_ for the cv protocol): pairs with
+    // wait_job's acquire so the waiter sees the job's (absent) results.
     js->done.store(true, std::memory_order_release);
   }
   quiescent_cv_.notify_all();
@@ -369,7 +391,7 @@ detail::Job* Scheduler::take_injected(detail::Worker& taker) {
   detail::Job* extras[kAdmitBatch - 1];
   std::size_t n_extras = 0;
   {
-    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    support::LockGuard lock(inbox_mutex_);
     if (inbox_.empty()) return nullptr;
     first = inbox_.front();
     inbox_.pop_front();
@@ -388,17 +410,22 @@ detail::Job* Scheduler::take_injected(detail::Worker& taker) {
 }
 
 void Scheduler::task_finished(detail::JobState& js) {
+  // acq_rel: the release half publishes this task's effects to whichever
+  // thread performs the final decrement; the acquire half makes the final
+  // decrementer see every other task's effects before completing the job.
   if (js.outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1)
     complete_job(js);
 }
 
 void Scheduler::complete_job(detail::JobState& js) {
+  // relaxed: the done flag's release-store below publishes the latency
+  // (and the counter delta) to acquire-side readers.
   js.latency_us.store(
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - js.submitted)
               .count()),
-      std::memory_order_relaxed);
+      std::memory_order_relaxed);  // see above
   if (js.want_counters) {
     // The acq_rel fetch_sub chain on js.outstanding ordered every event of
     // the job before this read, so the delta is complete.
@@ -408,24 +435,34 @@ void Scheduler::complete_job(detail::JobState& js) {
           counters_since(workers_[i]->counters(), js.baseline[i]));
   }
   {
-    std::lock_guard<std::mutex> lock(quiescent_mutex_);
+    support::LockGuard lock(quiescent_mutex_);
+    // release: publishes the job's results (latency, delta) to wait_job's
+    // acquire read. Under quiescent_mutex_ so the store→notify pair cannot
+    // slip between a waiter's predicate check and its sleep.
     js.done.store(true, std::memory_order_release);
+    // acq_rel: the step toward zero must be ordered with drain()'s
+    // acquire read (and with other completions' decrements).
     jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   }
   quiescent_cv_.notify_all();
 }
 
 void Scheduler::wait_job(detail::JobState& js) {
+  // acquire pairs with complete_job/abandon's release-store: done == true
+  // makes the job's results visible to this thread.
   if (js.done.load(std::memory_order_acquire)) return;
-  std::unique_lock<std::mutex> lock(quiescent_mutex_);
+  support::UniqueLock lock(quiescent_mutex_);
   quiescent_cv_.wait(lock, [&js] {
+    // acquire: same pairing as the fast path above.
     return js.done.load(std::memory_order_acquire);
   });
 }
 
 void Scheduler::drain() {
-  std::unique_lock<std::mutex> lock(quiescent_mutex_);
+  support::UniqueLock lock(quiescent_mutex_);
   quiescent_cv_.wait(lock, [this] {
+    // acquire pairs with complete_job's acq_rel decrement: at zero, every
+    // completed job's effects are visible to the drainer.
     return jobs_in_flight_.load(std::memory_order_acquire) == 0;
   });
 }
@@ -437,12 +474,12 @@ void Scheduler::prewarm(std::size_t count) {
 }
 
 void Scheduler::push_free_fiber(std::unique_ptr<Fiber> f) {
-  std::lock_guard<std::mutex> lock(fiber_free_mutex_);
+  support::LockGuard lock(fiber_free_mutex_);
   fiber_free_.push_back(std::move(f));
 }
 
 std::unique_ptr<Fiber> Scheduler::take_free_fiber() {
-  std::lock_guard<std::mutex> lock(fiber_free_mutex_);
+  support::LockGuard lock(fiber_free_mutex_);
   if (fiber_free_.empty()) return nullptr;
   std::unique_ptr<Fiber> f = std::move(fiber_free_.back());
   fiber_free_.pop_back();
@@ -462,8 +499,12 @@ void Scheduler::reset_counters() {
     baseline_[i] = workers_[i]->counters();
 }
 
-std::shared_ptr<SharedScheduler> SharedScheduler::acquire(
-    const RuntimeOptions& opts) {
+namespace {
+
+/// The process-wide lease registry behind SharedScheduler::acquire. A
+/// named struct (not function-statics) so the map can carry its
+/// WSF_GUARDED_BY contract — capability attributes attach to members.
+struct LeaseRegistry {
   struct Key {
     std::uint32_t workers;
     SpawnPolicy policy;
@@ -473,23 +514,36 @@ std::shared_ptr<SharedScheduler> SharedScheduler::acquire(
              std::tie(o.workers, o.policy, o.stack_bytes);
     }
   };
-  static std::mutex registry_mutex;
-  static std::map<Key, std::weak_ptr<SharedScheduler>> registry;
+  support::Mutex mutex;
+  std::map<Key, std::weak_ptr<SharedScheduler>> entries
+      WSF_GUARDED_BY(mutex);
+};
 
+LeaseRegistry& lease_registry() {
+  static LeaseRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+std::shared_ptr<SharedScheduler> SharedScheduler::acquire(
+    const RuntimeOptions& opts) {
   RuntimeOptions resolved = opts;
   if (resolved.workers == 0)
     resolved.workers = std::max(1u, std::thread::hardware_concurrency());
-  const Key key{resolved.workers, resolved.policy, resolved.stack_bytes};
+  const LeaseRegistry::Key key{resolved.workers, resolved.policy,
+                               resolved.stack_bytes};
 
-  std::lock_guard<std::mutex> lock(registry_mutex);
-  auto it = registry.find(key);
-  if (it != registry.end())
+  LeaseRegistry& registry = lease_registry();
+  support::LockGuard lock(registry.mutex);
+  auto it = registry.entries.find(key);
+  if (it != registry.entries.end())
     if (std::shared_ptr<SharedScheduler> live = it->second.lock())
       return live;
   std::shared_ptr<SharedScheduler> fresh(new SharedScheduler(resolved));
-  registry[key] = fresh;
-  for (auto i = registry.begin(); i != registry.end();)
-    i = i->second.expired() ? registry.erase(i) : std::next(i);
+  registry.entries[key] = fresh;
+  for (auto i = registry.entries.begin(); i != registry.entries.end();)
+    i = i->second.expired() ? registry.entries.erase(i) : std::next(i);
   return fresh;
 }
 

@@ -42,12 +42,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -60,6 +58,7 @@
 #include "runtime/future.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/thread_safety.hpp"
 
 namespace wsf::runtime {
 
@@ -104,13 +103,26 @@ namespace detail {
 /// Completion state of one submitted job (a root closure plus everything
 /// it spawned). Shared between the submitting thread's JobHandle and every
 /// work item belonging to the job.
+/// Synchronization: `done` is the job's publication flag — the completing
+/// worker writes every result field (latency_us, delta) *before* its
+/// release-store of done, and readers (JobHandle) check done with an
+/// acquire-load first, so those fields need no lock of their own.
+/// want_counters/submitted/baseline are written once at admission, before
+/// the job is visible to any worker, and read-only afterwards.
 struct JobState {
   /// Tasks of this job not yet finished (the root counts as one).
+  /// fetch_add is relaxed (only the count matters while running);
+  /// fetch_sub is acq_rel so the final decrement orders every task's
+  /// effects before completion (see Scheduler::task_finished).
   std::atomic<std::uint64_t> outstanding{1};
+  /// Set (release, under quiescent_mutex_ for the cv protocol) exactly
+  /// once, by the completing worker or by Scheduler::abandon.
   std::atomic<bool> done{false};
   bool want_counters = false;
   std::chrono::steady_clock::time_point submitted{};
-  /// Admission-to-completion latency, stamped at completion.
+  /// Admission-to-completion latency, stamped at completion. Atomic so
+  /// done()-polling readers racing completion stay well-defined; relaxed
+  /// because the done flag's release/acquire pair publishes it.
   std::atomic<std::uint64_t> latency_us{0};
   /// Per-worker counter values at admission (want_counters only).
   std::vector<WorkerCounters> baseline;
@@ -229,6 +241,8 @@ class JobHandle {
 
   bool valid() const { return job_ != nullptr; }
   bool done() const {
+    // acquire pairs with the completing worker's release-store: once done
+    // reads true, every result field of the JobState is visible.
     return job_ && job_->done.load(std::memory_order_acquire);
   }
   /// Blocks until the job (root + everything it spawned) completes, then
@@ -238,6 +252,8 @@ class JobHandle {
   /// Admission-to-completion wall time; valid once done().
   std::uint64_t latency_us() const {
     WSF_REQUIRE(job_ != nullptr, "latency_us() on an empty JobHandle");
+    // acquire mirrors done(): a reader that polls latency_us directly
+    // still sees the completing worker's stores once a nonzero arrives.
     return job_->latency_us.load(std::memory_order_acquire);
   }
   /// The job's counter delta; valid once done(), requires
@@ -296,18 +312,18 @@ class Scheduler {
 
   /// Admits every job staged in `batch` with one queue operation and one
   /// worker wake — the cheap way to push thousands of small jobs.
-  void submit(Batch&& batch);
+  void submit(Batch&& batch) WSF_EXCLUDES(inbox_mutex_, idle_mutex_);
 
   /// Blocks until no job is in flight. (New submissions admitted while
   /// draining extend the wait.)
-  void drain();
+  void drain() WSF_EXCLUDES(quiescent_mutex_);
 
   /// Pre-provisions `count` fiber stacks into the scheduler-wide free
   /// list — capacity planning for a known admission burst, so a load run
   /// reaches zero steady-state stack allocation deterministically instead
   /// of relying on warmup having touched the peak. Acquiring a prewarmed
   /// stack counts as stacks_reused; prewarming itself counts nothing.
-  void prewarm(std::size_t count);
+  void prewarm(std::size_t count) WSF_EXCLUDES(fiber_free_mutex_);
 
   SpawnPolicy policy() const { return opts_.policy; }
   std::uint32_t num_workers() const {
@@ -358,55 +374,78 @@ class Scheduler {
   /// Allocates the completion state for a new job (stamps the admission
   /// time; snapshots counter baselines when opts.counters).
   std::shared_ptr<detail::JobState> make_job_state(const JobOptions& opts);
-  void inject(std::unique_ptr<detail::Job> job);
+  void inject(std::unique_ptr<detail::Job> job)
+      WSF_EXCLUDES(inbox_mutex_, idle_mutex_);
   /// Pops the oldest injected job; pulls a few more into the calling
   /// worker's deque (admission batching) so a burst of tiny jobs does not
   /// serialize on the inbox lock.
-  detail::Job* take_injected(detail::Worker& taker);
+  detail::Job* take_injected(detail::Worker& taker)
+      WSF_EXCLUDES(inbox_mutex_);
   /// Marks a staged-but-never-admitted job completed-without-running so
   /// its handle's wait() throws instead of hanging.
-  void abandon(std::unique_ptr<detail::Job> job);
+  void abandon(std::unique_ptr<detail::Job> job)
+      WSF_EXCLUDES(quiescent_mutex_);
 
   void task_started(detail::JobState& js) {
+    // relaxed: only the count matters while the job runs; the completing
+    // decrement (acq_rel in task_finished) provides the ordering.
     js.outstanding.fetch_add(1, std::memory_order_relaxed);
   }
-  void task_finished(detail::JobState& js);
-  void complete_job(detail::JobState& js);
-  void wait_job(detail::JobState& js);
+  void task_finished(detail::JobState& js) WSF_EXCLUDES(quiescent_mutex_);
+  void complete_job(detail::JobState& js) WSF_EXCLUDES(quiescent_mutex_);
+  void wait_job(detail::JobState& js) WSF_EXCLUDES(quiescent_mutex_);
 
   /// Fiber-stack free list shared by all workers: recycled stacks beyond a
   /// worker's small local cache land here, so steady-state load re-uses
   /// stacks instead of growing per-worker pools.
-  void push_free_fiber(std::unique_ptr<Fiber> f);
-  std::unique_ptr<Fiber> take_free_fiber();
+  void push_free_fiber(std::unique_ptr<Fiber> f)
+      WSF_EXCLUDES(fiber_free_mutex_);
+  std::unique_ptr<Fiber> take_free_fiber() WSF_EXCLUDES(fiber_free_mutex_);
 
   RuntimeOptions opts_;
+  /// Immutable after the constructor returns (and the constructor starts
+  /// the worker threads only after the vector is fully built), so workers
+  /// may index into it lock-free.
   std::vector<std::unique_ptr<detail::Worker>> workers_;
   /// Per-worker counter values captured at the last reset_counters().
   std::vector<WorkerCounters> baseline_;
   std::vector<std::thread> threads_;
+  /// Shutdown flag: release-store under idle_mutex_ in the destructor
+  /// (part of the cv protocol), acquire-load in worker idle loops.
   std::atomic<bool> stop_{false};
-  /// Jobs admitted and not yet completed (drain()'s condition).
+  /// Jobs admitted and not yet completed (drain()'s condition). Incremented
+  /// relaxed at admission — going *away* from quiescence never needs to
+  /// wake anyone; decremented acq_rel under quiescent_mutex_ so drain()'s
+  /// cv wait cannot miss the step to zero.
   std::atomic<std::uint64_t> jobs_in_flight_{0};
 
-  std::mutex inbox_mutex_;
-  std::deque<detail::Job*> inbox_;  // FIFO: jobs run in admission order
+  support::Mutex inbox_mutex_;
+  /// FIFO: jobs run in admission order.
+  std::deque<detail::Job*> inbox_ WSF_GUARDED_BY(inbox_mutex_);
 
   /// Idle workers park here; admission bumps the epoch and notifies. The
   /// epoch closes the race between a worker's last find_work() miss and
   /// its wait: an admission between the two changes the epoch the worker
   /// read before re-checking, so the wait predicate is already true.
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  /// The epoch itself stays atomic (not WSF_GUARDED_BY): waiters read it
+  /// lock-free before deciding to park; only the *bump* must happen under
+  /// idle_mutex_ for the cv protocol. Bumps use release, reads acquire,
+  /// so a woken worker also sees the admitted job.
+  support::Mutex idle_mutex_;
+  support::CondVar idle_cv_;
   std::atomic<std::uint64_t> work_epoch_{0};
 
-  std::mutex fiber_free_mutex_;
-  std::vector<std::unique_ptr<Fiber>> fiber_free_;
+  support::Mutex fiber_free_mutex_;
+  std::vector<std::unique_ptr<Fiber>> fiber_free_
+      WSF_GUARDED_BY(fiber_free_mutex_);
 
   /// Serves JobHandle::wait() and drain(). Completion events are rare
-  /// (once per job), so one scheduler-wide cv is enough.
-  std::mutex quiescent_mutex_;
-  std::condition_variable quiescent_cv_;
+  /// (once per job), so one scheduler-wide cv is enough. Guards no members
+  /// directly: the waited-on state (JobState::done, jobs_in_flight_) is
+  /// atomic, and the mutex exists so completion's store→notify cannot
+  /// interleave into a waiter between its predicate check and its sleep.
+  support::Mutex quiescent_mutex_;
+  support::CondVar quiescent_cv_;
 };
 
 /// Stages jobs for a single admission: handles are live immediately, the
@@ -472,13 +511,17 @@ class SharedScheduler {
 
   Scheduler& scheduler() { return sched_; }
   /// Hold while per-job counter deltas must be free of other tenants'
-  /// events (JobOptions::counters is exact only in isolation).
-  std::mutex& exclusive() { return exclusive_; }
+  /// events (JobOptions::counters is exact only in isolation). An
+  /// annotated capability, so lessee code can carry WSF_REQUIRES /
+  /// WSF_GUARDED_BY contracts on it (exp::RuntimeBackend does).
+  support::Mutex& exclusive() WSF_RETURN_CAPABILITY(exclusive_) {
+    return exclusive_;
+  }
 
  private:
   explicit SharedScheduler(const RuntimeOptions& opts) : sched_(opts) {}
   Scheduler sched_;
-  std::mutex exclusive_;
+  support::Mutex exclusive_;
 };
 
 /// Spawns `fn` as a future task under the scheduler's policy. Must be

@@ -50,9 +50,13 @@ void GraphReplayer::wait_gates(core::NodeId v) {
   if (layout_.is_touch(v) && v != layout_.final_node() &&
       !event_of(layout_.future_parent_of(v)).ready()) {
     const core::NodeId fork = layout_.corresponding_fork_of(v);
+    // relaxed ×2: executed_ is a hazard-accounting probe — a stale 0 at
+    // worst overcounts a racy premature touch, which is what the measure
+    // means; premature_ is a statistics counter read only after collect()'s
+    // quiescent join.
     if (fork != core::kInvalidNode &&
         !executed_[fork].load(std::memory_order_relaxed))
-      premature_.fetch_add(1, std::memory_order_relaxed);
+      premature_.fetch_add(1, std::memory_order_relaxed);  // see above
   }
   while (detail::FutureStateBase* gate = unready_gate(v))
     detail::wait_until_ready(*gate);
@@ -63,6 +67,8 @@ void GraphReplayer::record(core::NodeId v) {
   // previous suspension point.
   detail::Worker* w = detail::current_worker();
   orders_[w->id()].push_back(v);
+  // relaxed: see wait_gates — executed_ feeds a tolerant statistics probe;
+  // real ordering between nodes travels through the future-state events.
   executed_[v].store(1, std::memory_order_relaxed);
 }
 
@@ -141,11 +147,14 @@ void GraphReplayer::prepare(std::uint32_t workers,
     order.clear();
     order.reserve(n / workers + 1);
   }
+  // relaxed throughout the reset: prepare() runs before the job is
+  // submitted, and submit/run-completion (JobState's release/acquire
+  // protocol) order these stores against every worker that will read them.
   for (std::size_t i = 0; i < event_count_; ++i)
     events_[i].state.store(detail::kEmpty, std::memory_order_relaxed);
   for (std::size_t v = 0; v < n; ++v)
-    executed_[v].store(0, std::memory_order_relaxed);
-  premature_.store(0, std::memory_order_relaxed);
+    executed_[v].store(0, std::memory_order_relaxed);  // ditto
+  premature_.store(0, std::memory_order_relaxed);      // ditto
 }
 
 void GraphReplayer::submit(Scheduler& sched, const ReplayOptions& opts) {
@@ -174,6 +183,8 @@ ReplayResult GraphReplayer::collect() {
                                        << " nodes");
   ReplayResult result;
   if (job_counters_) result.counters = handle.counters();
+  // relaxed: wait() above completed the job (acquire on JobState::done), so
+  // every worker's counting store already happens-before this read.
   result.premature_touches = premature_.load(std::memory_order_relaxed);
   result.wall_us = handle.latency_us();
   return result;

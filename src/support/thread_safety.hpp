@@ -1,0 +1,162 @@
+// Compile-time lock discipline: wrappers for clang's thread-safety
+// capability analysis (-Wthread-safety), no-ops elsewhere.
+//
+// The runtime's concurrency contracts — which mutex guards which member,
+// which functions must (not) hold which lock — are encoded as attributes on
+// the declarations themselves, so a clang build with -Wthread-safety
+// -Werror rejects any access that violates them. gcc (and MSVC) compile the
+// same tree with the macros expanding to nothing; the contracts are then
+// exercised dynamically instead (TSan jobs + tests/test_annotations.cpp),
+// so both toolchains check the same discipline, one statically and one at
+// run time.
+//
+// Policy (enforced by CI's static-analysis job, documented in README):
+//   * every new mutex-protected member carries WSF_GUARDED_BY;
+//   * every function with a locking precondition carries WSF_REQUIRES /
+//     WSF_EXCLUDES;
+//   * raw std::mutex is reserved for code the analysis cannot see through
+//     (std::condition_variable interop lives in CondVar below) — everything
+//     else uses support::Mutex + LockGuard/UniqueLock.
+//
+// The macro set mirrors the canonical mutex.h from the clang documentation
+// ("Thread Safety Analysis", https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WSF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WSF_THREAD_ANNOTATION(x)  // no-op: capability analysis is clang-only
+#endif
+
+/// Marks a class as a capability ("mutex" in diagnostics).
+#define WSF_CAPABILITY(x) WSF_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII class whose lifetime equals a critical section.
+#define WSF_SCOPED_CAPABILITY WSF_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define WSF_GUARDED_BY(x) WSF_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is protected by `x`.
+#define WSF_PT_GUARDED_BY(x) WSF_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Documented lock-order edges (checked by -Wthread-safety-analysis when
+/// the locks nest).
+#define WSF_ACQUIRED_BEFORE(...) \
+  WSF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define WSF_ACQUIRED_AFTER(...) \
+  WSF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// The caller must hold the listed capabilities exclusively.
+#define WSF_REQUIRES(...) \
+  WSF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// The caller must hold the listed capabilities at least shared.
+#define WSF_REQUIRES_SHARED(...) \
+  WSF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// The function acquires the capability (and the caller must not hold it).
+#define WSF_ACQUIRE(...) \
+  WSF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define WSF_ACQUIRE_SHARED(...) \
+  WSF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// The function releases the capability (the caller must hold it).
+#define WSF_RELEASE(...) \
+  WSF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define WSF_RELEASE_SHARED(...) \
+  WSF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// The function acquires the capability iff it returns `b`.
+#define WSF_TRY_ACQUIRE(...) \
+  WSF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// The caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define WSF_EXCLUDES(...) WSF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Asserts (at run time) that the capability is held; informs the analysis.
+#define WSF_ASSERT_CAPABILITY(x) WSF_THREAD_ANNOTATION(assert_capability(x))
+/// The function returns a reference to the named capability.
+#define WSF_RETURN_CAPABILITY(x) WSF_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: the function's body is not analyzed. Every use must carry
+/// a comment saying why the analysis cannot see through it.
+#define WSF_NO_THREAD_SAFETY_ANALYSIS \
+  WSF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace wsf::support {
+
+/// An annotated std::mutex: a clang "capability" the analysis can track.
+/// Use with LockGuard/UniqueLock; lock()/unlock() are public for the rare
+/// caller that needs manual control (which the analysis still checks).
+class WSF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WSF_ACQUIRE() { m_.lock(); }
+  void unlock() WSF_RELEASE() { m_.unlock(); }
+  bool try_lock() WSF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex m_;
+};
+
+/// std::lock_guard over an annotated Mutex (a scoped capability: the
+/// analysis treats the guarded region as the object's lifetime).
+class WSF_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) WSF_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() WSF_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// std::unique_lock over an annotated Mutex — the lock form CondVar::wait
+/// needs. Deliberately minimal: no deferred/adopted states, so the
+/// capability is held for exactly the object's lifetime (what the static
+/// analysis assumes; wait()'s internal release/reacquire is invisible to it
+/// and re-established before wait returns, so the modelling stays sound).
+class WSF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) WSF_ACQUIRE(m) : lock_(m.m_) {}
+  ~UniqueLock() WSF_RELEASE() = default;
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over annotated locks. Waits take a UniqueLock,
+/// so the compiler proves the caller holds the mutex across the wait —
+/// the precondition std::condition_variable leaves to the programmer.
+/// Predicates run with the lock held; a predicate reading WSF_GUARDED_BY
+/// members must be a lambda defined at the wait site (the analysis checks
+/// lambda bodies in their enclosing context).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) {
+    return cv_.wait_for(lock.lock_, timeout, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wsf::support

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Atomics-rationale lint: every explicit std::memory_order use must carry a
+rationale comment.
+
+Policy (README "Static analysis"): a memory-ordering decision is an argument
+about *which* release/acquire pair (or why no ordering is needed), and that
+argument belongs next to the code — TSan can only check the orderings the
+test schedules happen to exercise, but a reviewer can check a written
+rationale on every build. Concretely, each line whose *code* (comments
+stripped) mentions `memory_order_<kind>` must satisfy one of:
+
+  * the line itself carries a `//` comment after the code, or
+  * some line of the enclosing statement (scanning from the statement's
+    first line down to the use) carries a `//` comment, or
+  * the line immediately above the enclosing statement is a comment line
+    (`//`, `///` or the interior of a `/* ... */` block).
+
+The "enclosing statement" is found by walking upward while the previous
+line neither ends a statement/block (';', '{', '}', ':', '>') nor is blank
+nor is itself a comment line — a cheap heuristic that handles the
+multi-line `store(...)` calls the codebase actually contains without
+parsing C++.
+
+Exit status: 0 when every use is covered, 1 otherwise (offenders listed as
+file:line so editors can jump), 2 on usage errors.
+
+Usage: lint_atomics.py [ROOT ...]   (default: the repo's src/ tree)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+USE_RE = re.compile(r"\bmemory_order_(relaxed|acquire|release|acq_rel|seq_cst|consume)\b")
+EXTENSIONS = {".hpp", ".h", ".cpp", ".cc", ".cxx", ".hxx"}
+# Lines ending a previous statement / opening a block: the next line starts
+# a fresh statement. '>' catches template-argument line breaks in
+# declarations like std::atomic<\n T> (rare but cheap to allow).
+STATEMENT_BOUNDARY = (";", "{", "}", ":", ">", ")")
+
+
+def strip_comment(line: str) -> str:
+    """The code portion of a line (text left of any // comment)."""
+    return line.split("//", 1)[0]
+
+
+def is_comment_line(line: str) -> bool:
+    s = line.strip()
+    return s.startswith("//") or s.startswith("*") or s.startswith("/*")
+
+
+def statement_start(lines: list[str], idx: int) -> int:
+    """Index of the first line of the statement containing lines[idx]."""
+    k = idx
+    while k > 0:
+        prev = lines[k - 1].strip()
+        # A loop header ending in ';' is still the same statement — the
+        # condition/step clauses of a multi-line `for` continue it.
+        if prev.startswith(("for ", "for(", "while ", "while(")):
+            k -= 1
+            continue
+        if not prev or is_comment_line(prev) or prev.endswith(STATEMENT_BOUNDARY):
+            break
+        k -= 1
+    return k
+
+
+def has_rationale(lines: list[str], idx: int) -> bool:
+    if "//" in lines[idx]:
+        return True
+    start = statement_start(lines, idx)
+    if any("//" in lines[k] for k in range(start, idx)):
+        return True
+    return start > 0 and is_comment_line(lines[start - 1])
+
+
+def lint_file(path: Path) -> list[tuple[int, str]]:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        print(f"lint_atomics: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    offenders = []
+    in_block_comment = False
+    for i, line in enumerate(lines):
+        # Track /* ... */ blocks so orderings mentioned in prose don't count.
+        code = line
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        while "/*" in code:
+            open_at = code.find("/*")
+            close_at = code.find("*/", open_at + 2)
+            if close_at < 0:
+                code = code[:open_at]
+                in_block_comment = True
+                break
+            code = code[:open_at] + code[close_at + 2:]
+        if USE_RE.search(strip_comment(code)) and not has_rationale(lines, i):
+            offenders.append((i + 1, line.strip()))
+    return offenders
+
+
+def main(argv: list[str]) -> int:
+    repo_src = Path(__file__).resolve().parent.parent / "src"
+    roots = [Path(a) for a in argv[1:]] or [repo_src]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(
+                p for p in sorted(root.rglob("*")) if p.suffix in EXTENSIONS
+            )
+        else:
+            print(f"lint_atomics: no such path: {root}", file=sys.stderr)
+            return 2
+    total_uses = 0
+    failures = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        total_uses += len(USE_RE.findall(text))
+        for lineno, snippet in lint_file(path):
+            print(f"{path}:{lineno}: memory_order use without a rationale "
+                  f"comment:\n    {snippet}")
+            failures += 1
+    if failures:
+        print(f"\nlint_atomics: {failures} unexplained memory_order use(s). "
+              "Add a same-line or preceding-comment rationale (see README "
+              "'Static analysis').")
+        return 1
+    print(f"lint_atomics: OK — {total_uses} memory_order uses across "
+          f"{len(files)} files, all with rationale comments.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
