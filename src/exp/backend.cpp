@@ -84,7 +84,11 @@ class RuntimeBackend final : public Backend {
       cell.parked_touches.add(static_cast<double>(total.parked_touches));
       cell.fiber_switches.add(static_cast<double>(total.fiber_resumes));
       cell.migrations.add(static_cast<double>(total.migrations));
-      cell.wall_us.add(static_cast<double>(r.wall_us));
+      // Service time, not admission-to-completion: the sweep measures the
+      // schedule's execution cost, and queue time under a busy shared
+      // scheduler is admission noise, not locality. (Runtime rows are
+      // non-deterministic, so this refinement breaks no golden tables.)
+      cell.wall_us.add(static_cast<double>(r.service_us));
       // additional_misses / seq_misses / steps / declined_steals stay
       // empty: the runtime has no cache model or round grid, and its
       // steal-attempt count includes idle spinning, so deriving "declined"

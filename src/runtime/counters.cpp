@@ -29,6 +29,7 @@ void for_each_field(WorkerCounters& a, const WorkerCounters& b, F&& f) {
   f(a.continuations_pushed, b.continuations_pushed);
   f(a.wakes_pushed, b.wakes_pushed);
   f(a.fiber_resumes, b.fiber_resumes);
+  f(a.shed, b.shed);
 }
 
 // Saturating subtraction: a counters() snapshot racing a concurrent
@@ -78,7 +79,8 @@ std::string CountersReport::to_string() const {
      << " resumes=" << t.resumes << " inline=" << t.inline_children
      << " handoff_runs=" << t.handoff_runs
      << " cont_pushed=" << t.continuations_pushed
-     << " wakes=" << t.wakes_pushed << " switches=" << t.fiber_resumes;
+     << " wakes=" << t.wakes_pushed << " switches=" << t.fiber_resumes
+     << " shed=" << t.shed;
   return os.str();
 }
 

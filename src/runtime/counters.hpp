@@ -78,6 +78,17 @@ class RelaxedCounter {
 ///   * every fiber activation has one source:
 ///       fiber_resumes == tasks_run + resumes + handoff_runs
 /// tests/test_runtime.cpp (Accounting suite) asserts all four.
+///
+/// `shed` (jobs dropped past their deadline at inbox take-time) touches
+/// none of the acquisition counters — a shed job is popped from the inbox
+/// but never counted as an inbox_take and never runs — so the identities
+/// above close unchanged, and the admission-level identity
+///   admitted == completed + shed
+/// closes against Scheduler::admission() at quiescence. The submit-side
+/// admission counters (rejected, timed_out, blocked_us) live on the
+/// Scheduler as true RMW atomics, NOT here: they are written by arbitrary
+/// submitter threads, which would break this struct's single-writer
+/// load+store contract.
 struct alignas(64) WorkerCounters {
   RelaxedCounter spawns;
   RelaxedCounter tasks_run;
@@ -115,6 +126,10 @@ struct alignas(64) WorkerCounters {
   /// Context switches into a fiber (the replay layer's "fiber switches"
   /// measure).
   RelaxedCounter fiber_resumes;
+  /// Jobs this worker shed at inbox take-time because their deadline had
+  /// expired before they started (they never ran; see the class comment
+  /// for how this reconciles with the acquisition identities).
+  RelaxedCounter shed;
 
   WorkerCounters& operator+=(const WorkerCounters& o);
   /// Field-wise saturating difference, for reporting counts since a

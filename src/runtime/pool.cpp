@@ -163,6 +163,22 @@ void Worker::execute(Job* job) {
   current_job_ = std::move(job->job);
   Fiber* f = nullptr;
   if (job->kind == Job::Kind::Fresh) {
+    // First Fresh task of the job == the root starting: stamp queue time
+    // (admission → first run). Children are created only after the root
+    // ran, and they reach other workers through deque push/steal edges
+    // that order this store before their load — so the stamp has a single
+    // writer and every later reader sees it set.
+    // relaxed: single-writer store (see above); the done flag's
+    // release/acquire pair publishes the final value to JobHandle readers.
+    if (current_job_->queue_us.load(std::memory_order_relaxed) ==
+        JobState::kQueueUnset) {
+      current_job_->queue_us.store(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - current_job_->submitted)
+                  .count()),
+          std::memory_order_relaxed);  // see above
+    }
     counters_.tasks_run++;
     f = acquire_fiber(std::move(job->run));
   } else {
@@ -316,13 +332,16 @@ Scheduler::~Scheduler() {
   // though the workers are gone — inbox_ is guarded by inbox_mutex_, and
   // the uncontended acquire is cheaper than carving out an exemption.
   support::LockGuard lock(inbox_mutex_);
-  for (detail::Job* j : inbox_) delete j;
+  for (auto& bucket : inbox_)
+    for (detail::Job* j : bucket) delete j;
 }
 
 std::shared_ptr<detail::JobState> Scheduler::make_job_state(
     const JobOptions& opts) {
   auto js = std::make_shared<detail::JobState>();
   js->submitted = std::chrono::steady_clock::now();
+  js->priority = opts.priority;
+  if (opts.deadline.count() > 0) js->deadline = js->submitted + opts.deadline;
   if (opts.counters) {
     js->want_counters = true;
     js->baseline.reserve(workers_.size());
@@ -332,42 +351,97 @@ std::shared_ptr<detail::JobState> Scheduler::make_job_state(
 }
 
 void Scheduler::inject(std::unique_ptr<detail::Job> job) {
-  // relaxed: moving away from quiescence wakes nobody; only the decrement
-  // back toward zero (complete_job) participates in the cv protocol.
-  jobs_in_flight_.fetch_add(1, std::memory_order_relaxed);
-  {
-    support::LockGuard lock(inbox_mutex_);
-    inbox_.push_back(job.release());
-  }
-  {
-    support::LockGuard lock(idle_mutex_);
-    // release, under idle_mutex_: pairs with the idle loop's acquire reads
-    // and closes the miss/park race (see the work_epoch_ declaration).
-    work_epoch_.fetch_add(1, std::memory_order_release);
-  }
-  idle_cv_.notify_all();
+  detail::Job* raw = job.get();
+  const SubmitStatus st = admit(&raw, 1, AdmitOptions{});
+  WSF_CHECK(st == SubmitStatus::Admitted, "Block admission cannot fail");
+  job.release();  // the inbox owns it now
 }
 
 void Scheduler::submit(Batch&& batch) {
+  const SubmitStatus st = try_submit(batch, AdmitOptions{});
+  WSF_CHECK(st == SubmitStatus::Admitted, "Block admission cannot fail");
+}
+
+SubmitStatus Scheduler::try_submit(Batch& batch,
+                                   const AdmitOptions& admit_opts) {
   WSF_REQUIRE(batch.sched_ == this,
               "batch was staged for a different scheduler");
-  if (batch.staged_.empty()) return;
-  // relaxed: same reasoning as inject() — admission only moves the count
-  // away from drain()'s wake condition.
-  jobs_in_flight_.fetch_add(batch.staged_.size(),
-                            std::memory_order_relaxed);
-  {
-    support::LockGuard lock(inbox_mutex_);
-    for (auto& job : batch.staged_) inbox_.push_back(job.release());
-  }
+  if (batch.staged_.empty()) return SubmitStatus::Admitted;
+  std::vector<detail::Job*> raw;
+  raw.reserve(batch.staged_.size());
+  for (const auto& job : batch.staged_) raw.push_back(job.get());
+  const SubmitStatus st = admit(raw.data(), raw.size(), admit_opts);
+  if (st != SubmitStatus::Admitted) return st;  // batch left intact
+  for (auto& job : batch.staged_) job.release();  // the inbox owns them now
   batch.staged_.clear();
+  return st;
+}
+
+SubmitStatus Scheduler::admit(detail::Job** jobs, std::size_t n,
+                              const AdmitOptions& admit_opts) {
+  using clock = std::chrono::steady_clock;
+  // relaxed (here and for every adm_* cell): pure statistics — no payload
+  // is published through them and AdmissionStats is exact at quiescence.
+  adm_submitted_.fetch_add(n, std::memory_order_relaxed);
+  const std::size_t cap = opts_.inbox_capacity;
+  // An oversized batch can never fit under Block/Timeout — refuse up
+  // front instead of deadlocking the submitter.
+  WSF_REQUIRE(cap == 0 || admit_opts.policy == SubmitPolicy::Reject ||
+                  n <= cap,
+              "batch exceeds the inbox capacity and would block forever");
+  {
+    support::UniqueLock lock(inbox_mutex_);
+    if (cap != 0 && inbox_size_ + n > cap) {
+      if (admit_opts.policy == SubmitPolicy::Reject) {
+        adm_rejected_.fetch_add(n, std::memory_order_relaxed);  // see above
+        return SubmitStatus::Rejected;
+      }
+      const clock::time_point t0 = clock::now();
+      bool fits = true;
+      ++space_waiters_;
+      if (admit_opts.policy == SubmitPolicy::Block) {
+        inbox_space_cv_.wait(lock, [&] { return inbox_size_ + n <= cap; });
+      } else {
+        fits = inbox_space_cv_.wait_for(
+            lock, admit_opts.timeout,
+            [&] { return inbox_size_ + n <= cap; });
+      }
+      --space_waiters_;
+      adm_blocked_us_.fetch_add(  // see above
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  clock::now() - t0)
+                  .count()),
+          std::memory_order_relaxed);  // see above
+      if (!fits) {
+        adm_timed_out_.fetch_add(n, std::memory_order_relaxed);  // see above
+        return SubmitStatus::TimedOut;
+      }
+    }
+    // Admitted: count the jobs in flight *before* they become visible to
+    // workers (both under inbox_mutex_, so a taker that sees a job also
+    // sees the incremented count — its completion can never drive
+    // jobs_in_flight_ below zero).
+    // relaxed: moving away from quiescence wakes nobody; only the
+    // decrement back toward zero (complete_job) joins the cv protocol.
+    jobs_in_flight_.fetch_add(n, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      detail::Job* j = jobs[i];
+      inbox_[static_cast<std::size_t>(j->job->priority)].push_back(j);
+      if (j->job->deadline != clock::time_point::max()) ++inbox_deadlines_;
+    }
+    inbox_size_ += n;
+  }
   {
     support::LockGuard lock(idle_mutex_);
-    // release, under idle_mutex_: one bump + notify admits the whole batch
-    // (see the work_epoch_ declaration for the protocol).
+    // release, under idle_mutex_: one bump + notify admits all n jobs;
+    // pairs with the idle loop's acquire reads and closes the miss/park
+    // race (see the work_epoch_ declaration).
     work_epoch_.fetch_add(1, std::memory_order_release);
   }
   idle_cv_.notify_all();
+  adm_admitted_.fetch_add(n, std::memory_order_relaxed);  // see above
+  return SubmitStatus::Admitted;
 }
 
 void Scheduler::abandon(std::unique_ptr<detail::Job> job) {
@@ -376,29 +450,94 @@ void Scheduler::abandon(std::unique_ptr<detail::Job> job) {
   // returns — and throws, because the future state is unfulfilled.
   std::shared_ptr<detail::JobState> js = std::move(job->job);
   job.reset();
+  finish_without_run(*js, JobOutcome::Abandoned, /*was_admitted=*/false);
+}
+
+void Scheduler::finish_without_run(detail::JobState& js, JobOutcome outcome,
+                                   bool was_admitted) {
+  const std::uint64_t waited = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - js.submitted)
+          .count());
+  // All three relaxed: the done flag's release-store below publishes them
+  // to acquire-side readers (same contract as complete_job). The whole
+  // wait was queueing — the job never ran, so service time is zero.
+  js.queue_us.store(waited, std::memory_order_relaxed);
+  js.latency_us.store(waited, std::memory_order_relaxed);  // ditto
+  js.outcome.store(outcome, std::memory_order_relaxed);    // ditto
   {
     support::LockGuard lock(quiescent_mutex_);
     // release (under quiescent_mutex_ for the cv protocol): pairs with
-    // wait_job's acquire so the waiter sees the job's (absent) results.
-    js->done.store(true, std::memory_order_release);
+    // wait_job's acquire so the waiter sees the outcome and timings.
+    js.done.store(true, std::memory_order_release);
+    if (was_admitted) {
+      // acq_rel: the step toward zero must be ordered with drain()'s
+      // acquire read, exactly as in complete_job.
+      jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
   quiescent_cv_.notify_all();
 }
 
 detail::Job* Scheduler::take_injected(detail::Worker& taker) {
   constexpr std::size_t kAdmitBatch = 4;
+  /// Bounded shed work per call: a take under a deadline-heavy backlog
+  /// sheds at most this many expired jobs, then returns and lets the next
+  /// find_work round continue — keeping the inbox critical section short.
+  constexpr std::size_t kShedBatch = 8;
   detail::Job* first = nullptr;
   detail::Job* extras[kAdmitBatch - 1];
   std::size_t n_extras = 0;
+  detail::Job* shed[kShedBatch];
+  std::size_t n_shed = 0;
+  bool notify_space = false;
   {
     support::LockGuard lock(inbox_mutex_);
-    if (inbox_.empty()) return nullptr;
-    first = inbox_.front();
-    inbox_.pop_front();
-    while (n_extras + 1 < kAdmitBatch && !inbox_.empty()) {
-      extras[n_extras++] = inbox_.front();
-      inbox_.pop_front();
+    if (inbox_size_ == 0) return nullptr;
+    // One clock read per take, and only on streams that carry deadlines.
+    const auto now = inbox_deadlines_ > 0
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point::min();
+    const std::size_t before = inbox_size_;
+    for (auto& bucket : inbox_) {  // highest priority class first
+      while (!bucket.empty() && n_extras + 1 < kAdmitBatch &&
+             n_shed < kShedBatch) {
+        detail::Job* j = bucket.front();
+        const bool has_deadline =
+            j->job->deadline != std::chrono::steady_clock::time_point::max();
+        const bool expired = has_deadline && now >= j->job->deadline;
+        bucket.pop_front();
+        --inbox_size_;
+        if (has_deadline) --inbox_deadlines_;
+        if (expired) {
+          shed[n_shed++] = j;
+        } else if (first == nullptr) {
+          first = j;
+        } else {
+          extras[n_extras++] = j;
+        }
+      }
+      if ((first != nullptr && n_extras + 1 >= kAdmitBatch) ||
+          n_shed >= kShedBatch)
+        break;
     }
+    notify_space = opts_.inbox_capacity != 0 && space_waiters_ > 0 &&
+                   inbox_size_ < before;
+  }
+  // Wake blocked submitters outside the lock — they reacquire it in their
+  // wait predicate anyway.
+  if (notify_space) inbox_space_cv_.notify_all();
+  // Expired jobs never run: resolve their handles as Shed and charge the
+  // shedding worker's counter. They were admitted, so each retires one
+  // jobs_in_flight_ slot. Not counted as inbox_takes — the acquisition
+  // identities only track jobs that execute. The counter is bumped before
+  // the handles resolve: finish_without_run wakes waiters, and a woken
+  // client reading WorkerCounters must already see its job's shed.
+  if (n_shed > 0) taker.counters().shed += n_shed;
+  for (std::size_t i = 0; i < n_shed; ++i) {
+    std::shared_ptr<detail::JobState> js = std::move(shed[i]->job);
+    delete shed[i];
+    finish_without_run(*js, JobOutcome::Shed, /*was_admitted=*/true);
   }
   // The extras become ordinary deque work (stealable); their acquisition
   // is counted when they are popped or stolen, so the work-accounting
@@ -434,6 +573,8 @@ void Scheduler::complete_job(detail::JobState& js) {
       js.delta.per_worker.push_back(
           counters_since(workers_[i]->counters(), js.baseline[i]));
   }
+  // relaxed: published by done's release-store below, like the latency.
+  js.outcome.store(JobOutcome::Completed, std::memory_order_relaxed);
   {
     support::LockGuard lock(quiescent_mutex_);
     // release: publishes the job's results (latency, delta) to wait_job's

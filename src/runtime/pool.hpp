@@ -40,6 +40,7 @@
 // stopping the workers.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -82,10 +83,47 @@ struct RuntimeOptions {
   std::size_t stack_bytes = 256 * 1024;
   /// Seed for victim selection.
   std::uint64_t seed = 0x5eed;
+  /// Admission-inbox capacity in jobs; 0 = unbounded (the pre-backpressure
+  /// behavior). With a bound, submission under a full inbox follows the
+  /// caller's SubmitPolicy (Block / Reject / Timeout) — the service's
+  /// memory and tail latency stay bounded under sustained overload.
+  std::size_t inbox_capacity = 0;
 };
 
 class Scheduler;
 class Batch;
+
+/// Admission-inbox priority class. The inbox is a small priority-bucketed
+/// FIFO: higher classes are taken first; admission order is preserved
+/// within a class.
+enum class JobPriority : std::uint8_t { High = 0, Normal = 1, Low = 2 };
+inline constexpr std::size_t kNumJobPriorities = 3;
+
+inline const char* to_string(JobPriority p) {
+  switch (p) {
+    case JobPriority::High: return "high";
+    case JobPriority::Low: return "low";
+    default: return "normal";
+  }
+}
+
+/// What happened to a submitted job, observable via JobHandle::outcome()
+/// once done().
+enum class JobOutcome : std::uint8_t {
+  Pending = 0,    ///< not yet done
+  Completed = 1,  ///< ran to completion (result or exception available)
+  Shed = 2,       ///< deadline expired before it started; never ran
+  Abandoned = 3,  ///< its Batch was destroyed before submission; never ran
+};
+
+inline const char* to_string(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::Completed: return "completed";
+    case JobOutcome::Shed: return "shed";
+    case JobOutcome::Abandoned: return "abandoned";
+    default: return "pending";
+  }
+}
 
 /// Per-job knobs passed at submission.
 struct JobOptions {
@@ -96,6 +134,77 @@ struct JobOptions {
   /// too. Costs one per-worker snapshot per job — leave off on hot
   /// admission paths.
   bool counters = false;
+  /// Inbox priority class (irrelevant once the job reaches a deque: only
+  /// admission order is prioritized, stealing stays uniform).
+  JobPriority priority = JobPriority::Normal;
+  /// Relative deadline from admission; 0 = none. A job still in the inbox
+  /// past its deadline is shed at take-time: it never runs, its handle
+  /// resolves with JobOutcome::Shed, and the shedding worker counts it in
+  /// WorkerCounters::shed.
+  std::chrono::microseconds deadline{0};
+};
+
+/// What a submitter does when the bounded inbox is full.
+enum class SubmitPolicy : std::uint8_t {
+  /// Wait (condition variable) until space frees; the wait is charged to
+  /// AdmissionStats::blocked_us.
+  Block,
+  /// Fail fast: try_submit returns Rejected and the job never existed as
+  /// far as the scheduler is concerned (the caller retries or backs off).
+  Reject,
+  /// Wait at most AdmitOptions::timeout, then fail with TimedOut.
+  Timeout,
+};
+
+inline const char* to_string(SubmitPolicy p) {
+  switch (p) {
+    case SubmitPolicy::Reject: return "reject";
+    case SubmitPolicy::Timeout: return "timeout";
+    default: return "block";
+  }
+}
+
+/// Admission knobs for try_submit. Plain submit() always uses Block.
+struct AdmitOptions {
+  SubmitPolicy policy = SubmitPolicy::Block;
+  /// Bound for SubmitPolicy::Timeout.
+  std::chrono::microseconds timeout{1000};
+};
+
+enum class SubmitStatus : std::uint8_t { Admitted, Rejected, TimedOut };
+
+inline const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::Rejected: return "rejected";
+    case SubmitStatus::TimedOut: return "timed-out";
+    default: return "admitted";
+  }
+}
+
+/// Typed result of try_submit: the handle is valid only when admitted, so
+/// a rejected submission is a value the caller can branch/retry on, not an
+/// exception.
+template <typename R>
+class JobHandle;
+template <typename R>
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::Admitted;
+  JobHandle<R> handle;
+  bool admitted() const { return status == SubmitStatus::Admitted; }
+};
+
+/// Submit-side admission statistics (process of record for everything the
+/// per-worker counters cannot carry — these events happen on submitter
+/// threads, so the cells are true multi-writer atomics, unlike the
+/// single-writer WorkerCounters). Identities at quiescence:
+///   submitted == admitted + rejected + timed_out
+///   admitted  == completed + shed      (shed from WorkerCounters::shed)
+struct AdmissionStats {
+  std::uint64_t submitted = 0;  ///< jobs offered (attempts, retries counted)
+  std::uint64_t admitted = 0;   ///< jobs that entered the inbox
+  std::uint64_t rejected = 0;   ///< failed fast under SubmitPolicy::Reject
+  std::uint64_t timed_out = 0;  ///< gave up under SubmitPolicy::Timeout
+  std::uint64_t blocked_us = 0; ///< submitter wall time spent waiting for space
 };
 
 namespace detail {
@@ -119,11 +228,27 @@ struct JobState {
   /// once, by the completing worker or by Scheduler::abandon.
   std::atomic<bool> done{false};
   bool want_counters = false;
+  /// Inbox priority class, fixed at admission.
+  JobPriority priority = JobPriority::Normal;
   std::chrono::steady_clock::time_point submitted{};
+  /// Absolute deadline (max() = none), computed from JobOptions::deadline
+  /// at staging. Written once before the job is visible; read at take-time.
+  std::chrono::steady_clock::time_point deadline{
+      std::chrono::steady_clock::time_point::max()};
   /// Admission-to-completion latency, stamped at completion. Atomic so
   /// done()-polling readers racing completion stay well-defined; relaxed
   /// because the done flag's release/acquire pair publishes it.
   std::atomic<std::uint64_t> latency_us{0};
+  /// Admission-to-first-run wait (queue time); kQueueUnset until the root
+  /// task starts. Written exactly once, by the worker that starts the root
+  /// (children only exist after the root ran, so there is a single writer);
+  /// relaxed because done's release/acquire pair publishes the final value
+  /// and in-flight polls only need a non-torn read.
+  std::atomic<std::uint64_t> queue_us{kQueueUnset};
+  static constexpr std::uint64_t kQueueUnset = ~std::uint64_t{0};
+  /// How the job ended; written before done's release-store, so any reader
+  /// that observed done sees the final outcome.
+  std::atomic<JobOutcome> outcome{JobOutcome::Pending};
   /// Per-worker counter values at admission (want_counters only).
   std::vector<WorkerCounters> baseline;
   /// live − baseline at completion (want_counters only).
@@ -247,14 +372,45 @@ class JobHandle {
   }
   /// Blocks until the job (root + everything it spawned) completes, then
   /// returns the root's result or rethrows its exception. Throws if the
-  /// job was abandoned (its Batch was destroyed before submission).
+  /// job never ran — shed past its deadline, or abandoned (its Batch was
+  /// destroyed before submission); use wait_outcome() to branch without
+  /// exceptions.
   R wait();
-  /// Admission-to-completion wall time; valid once done().
+  /// Blocks until the job resolves and reports how, without consuming the
+  /// result or throwing — the overload-tolerant wait: callers that expect
+  /// shedding check the outcome, then call wait() only on Completed.
+  JobOutcome wait_outcome();
+  /// How the job ended; JobOutcome::Pending until done().
+  JobOutcome outcome() const {
+    WSF_REQUIRE(job_ != nullptr, "outcome() on an empty JobHandle");
+    // acquire mirrors done(): observing a final outcome implies the
+    // completing worker's other stores are visible too.
+    return job_->outcome.load(std::memory_order_acquire);
+  }
+  /// Admission-to-completion wall time; valid once done(). For Shed jobs
+  /// this is the time spent queued before the shed.
   std::uint64_t latency_us() const {
     WSF_REQUIRE(job_ != nullptr, "latency_us() on an empty JobHandle");
     // acquire mirrors done(): a reader that polls latency_us directly
     // still sees the completing worker's stores once a nonzero arrives.
     return job_->latency_us.load(std::memory_order_acquire);
+  }
+  /// Admission-to-first-run wait (queue time); valid once done(). Equals
+  /// latency_us() for jobs that never ran (shed/abandoned).
+  std::uint64_t queue_us() const {
+    WSF_REQUIRE(job_ != nullptr, "queue_us() on an empty JobHandle");
+    // acquire: same publication contract as latency_us above.
+    const std::uint64_t q = job_->queue_us.load(std::memory_order_acquire);
+    return q == detail::JobState::kQueueUnset ? 0 : q;
+  }
+  /// First-run-to-completion wall time (service time); valid once done().
+  /// Zero for jobs that never ran. latency_us() == queue_us() +
+  /// service_us(), so overload shows up in queue time instead of being
+  /// smeared into one number.
+  std::uint64_t service_us() const {
+    const std::uint64_t l = latency_us();
+    const std::uint64_t q = queue_us();
+    return l > q ? l - q : 0;
   }
   /// The job's counter delta; valid once done(), requires
   /// JobOptions{.counters = true} at submission.
@@ -310,9 +466,36 @@ class Scheduler {
     return submit(std::forward<F>(root)).wait();
   }
 
+  /// submit() with an explicit admission policy. Returns a typed result:
+  /// the handle is valid only when status == Admitted. Under an unbounded
+  /// inbox (inbox_capacity == 0) admission always succeeds immediately.
+  template <typename F>
+  auto try_submit(F&& root, const JobOptions& opts = {},
+                  const AdmitOptions& admit_opts = {})
+      -> SubmitResult<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto state = std::make_shared<detail::FutureState<R>>();
+    auto job = make_job(state, std::forward<F>(root));
+    std::shared_ptr<detail::JobState> js = make_job_state(opts);
+    job->job = js;
+    detail::Job* raw = job.get();
+    const SubmitStatus st = admit(&raw, 1, admit_opts);
+    if (st != SubmitStatus::Admitted) return {st, JobHandle<R>{}};
+    job.release();  // ownership passed to the inbox by admit()
+    return {st, JobHandle<R>(this, std::move(state), std::move(js))};
+  }
+
   /// Admits every job staged in `batch` with one queue operation and one
   /// worker wake — the cheap way to push thousands of small jobs.
   void submit(Batch&& batch) WSF_EXCLUDES(inbox_mutex_, idle_mutex_);
+
+  /// submit(Batch&&) with an explicit admission policy; all-or-nothing.
+  /// On Rejected/TimedOut the batch is left intact — the caller can retry
+  /// later or drop it (dropping abandons the jobs, resolving their handles
+  /// with JobOutcome::Abandoned). A Block/Timeout batch larger than the
+  /// inbox capacity can never fit and is refused up front.
+  SubmitStatus try_submit(Batch& batch, const AdmitOptions& admit_opts = {})
+      WSF_EXCLUDES(inbox_mutex_, idle_mutex_);
 
   /// Blocks until no job is in flight. (New submissions admitted while
   /// draining extend the wait.)
@@ -328,6 +511,24 @@ class Scheduler {
   SpawnPolicy policy() const { return opts_.policy; }
   std::uint32_t num_workers() const {
     return static_cast<std::uint32_t>(workers_.size());
+  }
+  /// Admission-inbox capacity in jobs; 0 = unbounded.
+  std::size_t inbox_capacity() const { return opts_.inbox_capacity; }
+
+  /// Snapshot of the submit-side admission statistics (racy while
+  /// submitters run; exact at quiescence — see AdmissionStats for the
+  /// identities that close against the worker counters).
+  AdmissionStats admission() const {
+    AdmissionStats s;
+    // relaxed: statistics snapshot — cells may be mutually skewed while
+    // submitters race; each read is atomic and exactness holds at
+    // quiescence, same contract as RelaxedCounter.
+    s.submitted = adm_submitted_.load(std::memory_order_relaxed);
+    s.admitted = adm_admitted_.load(std::memory_order_relaxed);    // ditto
+    s.rejected = adm_rejected_.load(std::memory_order_relaxed);    // ditto
+    s.timed_out = adm_timed_out_.load(std::memory_order_relaxed);  // ditto
+    s.blocked_us = adm_blocked_us_.load(std::memory_order_relaxed);  // ditto
+    return s;
   }
 
   /// Snapshot of all worker counters since the last reset (racy while tasks
@@ -372,18 +573,37 @@ class Scheduler {
   friend class JobHandle;
 
   /// Allocates the completion state for a new job (stamps the admission
-  /// time; snapshots counter baselines when opts.counters).
+  /// time and absolute deadline; snapshots counter baselines when
+  /// opts.counters).
   std::shared_ptr<detail::JobState> make_job_state(const JobOptions& opts);
   void inject(std::unique_ptr<detail::Job> job)
       WSF_EXCLUDES(inbox_mutex_, idle_mutex_);
-  /// Pops the oldest injected job; pulls a few more into the calling
-  /// worker's deque (admission batching) so a burst of tiny jobs does not
-  /// serialize on the inbox lock.
+  /// The one admission gate: applies the capacity bound under
+  /// `admit_opts.policy`, then moves all `n` jobs into the priority
+  /// buckets and wakes workers. All-or-nothing; on success ownership of
+  /// the raw pointers passes to the inbox (callers release their
+  /// unique_ptrs), on failure the caller keeps them. Updates the
+  /// admission statistics either way.
+  SubmitStatus admit(detail::Job** jobs, std::size_t n,
+                     const AdmitOptions& admit_opts)
+      WSF_EXCLUDES(inbox_mutex_, idle_mutex_);
+  /// Pops the oldest injected job of the highest nonempty priority class;
+  /// pulls a few more into the calling worker's deque (admission batching)
+  /// so a burst of tiny jobs does not serialize on the inbox lock.
+  /// Deadline-expired jobs encountered on the way are shed: never run,
+  /// charged to `taker.counters().shed`, their handles resolved with
+  /// JobOutcome::Shed.
   detail::Job* take_injected(detail::Worker& taker)
       WSF_EXCLUDES(inbox_mutex_);
   /// Marks a staged-but-never-admitted job completed-without-running so
   /// its handle's wait() throws instead of hanging.
   void abandon(std::unique_ptr<detail::Job> job)
+      WSF_EXCLUDES(quiescent_mutex_);
+  /// Resolves a job that will never run (Shed or Abandoned): stamps its
+  /// latency/queue time, publishes the outcome + done flag, and — when the
+  /// job had been admitted — retires it from jobs_in_flight_.
+  void finish_without_run(detail::JobState& js, JobOutcome outcome,
+                          bool was_admitted)
       WSF_EXCLUDES(quiescent_mutex_);
 
   void task_started(detail::JobState& js) {
@@ -420,8 +640,33 @@ class Scheduler {
   std::atomic<std::uint64_t> jobs_in_flight_{0};
 
   support::Mutex inbox_mutex_;
-  /// FIFO: jobs run in admission order.
-  std::deque<detail::Job*> inbox_ WSF_GUARDED_BY(inbox_mutex_);
+  /// Priority-bucketed FIFO: one deque per JobPriority class, taken
+  /// highest class first, admission order within a class. With
+  /// inbox_capacity == 0 (default) and Normal-only traffic this degrades
+  /// to exactly the old single FIFO.
+  std::array<std::deque<detail::Job*>, kNumJobPriorities> inbox_
+      WSF_GUARDED_BY(inbox_mutex_);
+  /// Total jobs across all buckets — the capacity bound's subject.
+  std::size_t inbox_size_ WSF_GUARDED_BY(inbox_mutex_) = 0;
+  /// Queued jobs carrying a deadline; lets take_injected skip the clock
+  /// read entirely on deadline-free streams (the common case).
+  std::size_t inbox_deadlines_ WSF_GUARDED_BY(inbox_mutex_) = 0;
+  /// Submitters currently blocked waiting for space; takers only notify
+  /// the space cv when this is nonzero, keeping the unbounded/uncontended
+  /// take path free of cv traffic.
+  std::size_t space_waiters_ WSF_GUARDED_BY(inbox_mutex_) = 0;
+  /// Blocked/timed-out submitters park here; take_injected notifies as it
+  /// frees space under a bounded capacity.
+  support::CondVar inbox_space_cv_;
+
+  // Submit-side admission statistics (see AdmissionStats). True RMW
+  // atomics — many submitter threads bump them concurrently — unlike the
+  // single-writer RelaxedCounter cells in WorkerCounters.
+  std::atomic<std::uint64_t> adm_submitted_{0};
+  std::atomic<std::uint64_t> adm_admitted_{0};
+  std::atomic<std::uint64_t> adm_rejected_{0};
+  std::atomic<std::uint64_t> adm_timed_out_{0};
+  std::atomic<std::uint64_t> adm_blocked_us_{0};
 
   /// Idle workers park here; admission bumps the epoch and notifies. The
   /// epoch closes the race between a worker's last find_work() miss and
@@ -486,8 +731,9 @@ class Batch {
 
 template <typename R>
 R JobHandle<R>::wait() {
-  WSF_REQUIRE(job_ != nullptr, "wait() on an empty JobHandle");
-  sched_->wait_job(*job_);
+  const JobOutcome o = wait_outcome();
+  WSF_CHECK(o != JobOutcome::Shed, "job was shed: its deadline expired "
+            "before it started (use wait_outcome() to handle shedding)");
   WSF_CHECK(state_->ready(),
             "job did not complete (batch abandoned before submit?)");
   if (state_->error) std::rethrow_exception(state_->error);
@@ -495,6 +741,16 @@ R JobHandle<R>::wait() {
     state_->taken = true;
     return state_->take();
   }
+}
+
+template <typename R>
+JobOutcome JobHandle<R>::wait_outcome() {
+  WSF_REQUIRE(job_ != nullptr, "wait_outcome() on an empty JobHandle");
+  sched_->wait_job(*job_);
+  // acquire pairs with the completing worker's outcome store before its
+  // done release (wait_job already synchronized, but keep the read
+  // self-sufficient).
+  return job_->outcome.load(std::memory_order_acquire);
 }
 
 /// A process-wide, reference-counted lease on a long-lived Scheduler.

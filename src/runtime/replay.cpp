@@ -161,32 +161,46 @@ void GraphReplayer::submit(Scheduler& sched, const ReplayOptions& opts) {
   prepare(sched.num_workers(), opts);
   handle_ = sched.submit(
       [this] { run_thread(layout_.thread_of(layout_.root())); },
-      {.counters = opts.job_counters});
+      {.counters = opts.job_counters,
+       .priority = opts.priority,
+       .deadline = opts.deadline});
 }
 
 void GraphReplayer::stage(Batch& batch, const ReplayOptions& opts) {
   prepare(batch.scheduler().num_workers(), opts);
   handle_ = batch.add(
       [this] { run_thread(layout_.thread_of(layout_.root())); },
-      {.counters = opts.job_counters});
+      {.counters = opts.job_counters,
+       .priority = opts.priority,
+       .deadline = opts.deadline});
 }
 
 ReplayResult GraphReplayer::collect() {
   WSF_REQUIRE(handle_.valid(), "collect() without a submitted run");
   JobHandle<void> handle = std::move(handle_);
-  handle.wait();
+  ReplayResult result;
+  result.outcome = handle.wait_outcome();
+  if (result.outcome != JobOutcome::Completed) {
+    // The replay never ran (deadline shed, or its batch was dropped):
+    // there are no nodes to check and no measures beyond the queue wait.
+    result.wall_us = handle.latency_us();
+    result.queue_us = handle.queue_us();
+    return result;
+  }
 
   std::size_t executed = 0;
   for (const auto& order : orders_) executed += order.size();
   WSF_CHECK(executed == g_.num_nodes(),
             "runtime replay executed " << executed << " of " << g_.num_nodes()
                                        << " nodes");
-  ReplayResult result;
   if (job_counters_) result.counters = handle.counters();
-  // relaxed: wait() above completed the job (acquire on JobState::done), so
-  // every worker's counting store already happens-before this read.
+  // relaxed: wait_outcome() above completed the job (acquire on
+  // JobState::done), so every worker's counting store already
+  // happens-before this read.
   result.premature_touches = premature_.load(std::memory_order_relaxed);
   result.wall_us = handle.latency_us();
+  result.queue_us = handle.queue_us();
+  result.service_us = handle.service_us();
   return result;
 }
 

@@ -47,6 +47,12 @@ struct ReplayOptions {
   /// leave off on hot admission paths (wsf-load) where per-job baselines
   /// would both allocate and blur across tenants.
   bool job_counters = true;
+  /// Inbox priority class for the replay job (JobOptions::priority).
+  JobPriority priority = JobPriority::Normal;
+  /// Relative deadline for the replay job (JobOptions::deadline); 0 =
+  /// none. A replay shed past its deadline never runs — collect() reports
+  /// outcome == JobOutcome::Shed with zeroed measures instead of failing.
+  std::chrono::microseconds deadline{0};
 };
 
 /// Measures of one replay run. The per-worker node orders live in the
@@ -59,8 +65,18 @@ struct ReplayResult {
   /// Touches reached before the fork spawning their future thread executed
   /// (the Figure 3 hazard; 0 for structured computations).
   std::uint64_t premature_touches = 0;
-  /// Admission-to-completion wall time of the job, microseconds.
+  /// Admission-to-completion wall time of the job, microseconds
+  /// (queue_us + service_us).
   std::uint64_t wall_us = 0;
+  /// Admission-to-first-run wait (queue time), microseconds.
+  std::uint64_t queue_us = 0;
+  /// First-run-to-completion wall time (service time), microseconds — the
+  /// locality-sensitive measure: admission backlog under load is excluded.
+  std::uint64_t service_us = 0;
+  /// How the job ended. Completed unless the replay carried a deadline it
+  /// missed (Shed: the node/measure fields above are zero — it never ran)
+  /// or its batch was dropped (Abandoned).
+  JobOutcome outcome = JobOutcome::Completed;
 };
 
 /// Reusable arena for replaying one graph: per-touch-edge events, executed

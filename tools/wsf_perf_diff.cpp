@@ -94,6 +94,7 @@ int main(int argc, char** argv) {
   auto& ignore = args.add_string(
       "ignore",
       "wall_ms,mean_us,p50_us,p95_us,max_us,elapsed_ms,latency_us,"
+      "queue_p50_us,queue_p99_us,blocked_ms,"
       "steals,migrations,stacks_reused,steady_fibers_created",
       "comma-separated columns excluded from the diff entirely (noisy "
       "machine-dependent wall times and scheduling-dependent runtime "
