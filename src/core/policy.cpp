@@ -1,0 +1,24 @@
+#include "core/policy.hpp"
+
+#include "support/check.hpp"
+
+namespace wsf::core {
+
+StealPolicy steal_policy_from_string(const std::string& s) {
+  if (s == "one" || s == "single") return StealPolicy::One;
+  if (s == "half" || s == "steal-half") return StealPolicy::Half;
+  WSF_REQUIRE(false, "unknown steal policy '" << s << "' (one | half)");
+  return StealPolicy::One;
+}
+
+VictimPolicy victim_policy_from_string(const std::string& s) {
+  if (s == "uniform" || s == "random") return VictimPolicy::Uniform;
+  if (s == "last-victim" || s == "last" || s == "affinity")
+    return VictimPolicy::LastVictim;
+  if (s == "nearest" || s == "neighbor") return VictimPolicy::Nearest;
+  WSF_REQUIRE(false, "unknown victim policy '"
+                         << s << "' (uniform | last-victim | nearest)");
+  return VictimPolicy::Uniform;
+}
+
+}  // namespace wsf::core

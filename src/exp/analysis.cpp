@@ -622,8 +622,8 @@ Figure render_figure(const Table& sweep, const std::string& family,
   std::vector<std::string> series_cols = opts.series_columns;
   if (series_cols.empty()) {
     for (const char* cand : {"policy", "touch_enable", "cache_lines",
-                             "procs", "layout", "size", "size2", "backend",
-                             "run"})
+                             "procs", "layout", "steal", "victim", "size",
+                             "size2", "backend", "run"})
       if (std::string(cand) != fig.x && rows.has_column(cand) &&
           distinct(rows, cand).size() > 1)
         series_cols.push_back(cand);
@@ -636,7 +636,8 @@ Figure render_figure(const Table& sweep, const std::string& family,
     for (const std::string& col : series_cols) {
       std::string part;
       if (col == "policy" || col == "touch_enable" || col == "run" ||
-          col == "backend" || col == "layout")
+          col == "backend" || col == "layout" || col == "steal" ||
+          col == "victim")
         part = r.get(col);
       else if (col == "cache_lines")
         part = "C=" + r.get(col);

@@ -52,7 +52,8 @@ class RuntimeBackend final : public Backend {
         cfg.options.policy == core::ForkPolicy::FutureFirst
             ? runtime::SpawnPolicy::FutureFirst
             : runtime::SpawnPolicy::ParentFirst;
-    ensure_scheduler(cfg.options.procs, policy);
+    ensure_scheduler(cfg.options.procs, policy, cfg.options.steal_policy,
+                     cfg.options.victim_policy);
 
     SweepCell cell;
     cell.stats = core::compute_stats(g);
@@ -80,6 +81,8 @@ class RuntimeBackend final : public Backend {
       const runtime::WorkerCounters total = r.counters.total();
       cell.deviations.add(static_cast<double>(deviations.deviations));
       cell.steals.add(static_cast<double>(total.steals));
+      cell.batch_stolen_items.add(
+          static_cast<double>(total.batch_stolen_items));
       cell.premature_touches.add(static_cast<double>(r.premature_touches));
       cell.parked_touches.add(static_cast<double>(total.parked_touches));
       cell.fiber_switches.add(static_cast<double>(total.fiber_resumes));
@@ -106,11 +109,16 @@ class RuntimeBackend final : public Backend {
   /// stay isolated. Leases held by this Backend keep their schedulers
   /// alive for the sweep's duration; the last Backend to release drops
   /// them.
-  void ensure_scheduler(std::uint32_t workers, runtime::SpawnPolicy policy) {
-    if (lease_ && workers == workers_ && policy == policy_) return;
+  void ensure_scheduler(std::uint32_t workers, runtime::SpawnPolicy policy,
+                        core::StealPolicy steal, core::VictimPolicy victim) {
+    if (lease_ && workers == workers_ && policy == policy_ &&
+        steal == steal_ && victim == victim_)
+      return;
     runtime::RuntimeOptions opts;
     opts.workers = workers;
     opts.policy = policy;
+    opts.steal = steal;
+    opts.victim = victim;
     // Replay thread bodies are a flat loop (no user recursion), so a small
     // stack keeps many concurrently-live fibers cheap.
     opts.stack_bytes = 128 * 1024;
@@ -119,6 +127,8 @@ class RuntimeBackend final : public Backend {
       held_.push_back(lease_);
     workers_ = workers;
     policy_ = policy;
+    steal_ = steal;
+    victim_ = victim;
   }
 
   std::shared_ptr<runtime::SharedScheduler> lease_;
@@ -127,6 +137,8 @@ class RuntimeBackend final : public Backend {
   std::vector<std::shared_ptr<runtime::SharedScheduler>> held_;
   std::uint32_t workers_ = 0;
   runtime::SpawnPolicy policy_ = runtime::SpawnPolicy::FutureFirst;
+  core::StealPolicy steal_ = core::StealPolicy::One;
+  core::VictimPolicy victim_ = core::VictimPolicy::Uniform;
 };
 
 }  // namespace

@@ -54,6 +54,8 @@ void check_row_matches_config(const std::vector<std::string>& headers,
   expected["touch_enable"] = to_string(config.options.touch_enable);
   expected["cache_lines"] = std::to_string(config.options.cache_lines);
   expected["layout"] = core::to_string(config.layout);
+  expected["steal"] = core::to_string(config.options.steal_policy);
+  expected["victim"] = core::to_string(config.options.victim_policy);
   expected["replicates"] = std::to_string(seeds);
   for (std::size_t c = 0; c < headers.size() && c < cells.size(); ++c) {
     const auto it = expected.find(headers[c]);
@@ -92,7 +94,9 @@ std::string spec_signature(const SweepSpec& spec) {
                               spec.cache_lines.size() *
                               spec.layouts.size() * spec.procs.size() *
                               spec.policies.size() *
-                              spec.touch_enables.size();
+                              spec.touch_enables.size() *
+                              spec.steal_policies.size() *
+                              spec.victim_policies.size();
   // The stall probability must be encoded losslessly (%.17g, not the
   // table's 4-decimal rendering): two runs whose stall values agree only
   // to 4 decimals are different experiments and must not splice.
@@ -119,6 +123,12 @@ std::string spec_signature(const SweepSpec& spec) {
   os << " layouts=";
   for (const core::NodeOrderKind k : spec.layouts)
     os << core::to_string(k) << ';';
+  os << " steals=";
+  for (const core::StealPolicy s : spec.steal_policies)
+    os << core::to_string(s) << ';';
+  os << " victims=";
+  for (const core::VictimPolicy v : spec.victim_policies)
+    os << core::to_string(v) << ';';
   os << " cache_policy=" << spec.cache_policy << " stall=" << stall
      << " seeds=" << spec.seeds << " seed_base=" << spec.seed_base
      << " max_steps=" << spec.max_steps;

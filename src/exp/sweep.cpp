@@ -60,6 +60,10 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
               "sweep needs at least one cache geometry (0 = no cache)");
   WSF_REQUIRE(!spec.layouts.empty(),
               "sweep needs at least one node layout order");
+  WSF_REQUIRE(!spec.steal_policies.empty(),
+              "sweep needs at least one steal policy");
+  WSF_REQUIRE(!spec.victim_policies.empty(),
+              "sweep needs at least one victim policy");
   WSF_REQUIRE(spec.seeds >= 1, "sweep needs at least one seed replicate");
 
   const std::vector<GraphAxis> axes = flatten_graph_axes(spec);
@@ -67,7 +71,8 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
   configs.reserve(spec.backends.size() * axes.size() *
                   spec.cache_lines.size() * spec.layouts.size() *
                   spec.procs.size() * spec.policies.size() *
-                  spec.touch_enables.size());
+                  spec.touch_enables.size() * spec.steal_policies.size() *
+                  spec.victim_policies.size());
   for (const BackendKind backend : spec.backends) {
     for (std::size_t gi = 0; gi < axes.size(); ++gi) {
       for (std::size_t ci = 0; ci < spec.cache_lines.size(); ++ci) {
@@ -75,26 +80,35 @@ std::vector<SweepConfig> expand_spec(const SweepSpec& spec) {
           for (const std::uint32_t procs : spec.procs) {
             for (const core::ForkPolicy policy : spec.policies) {
               for (const sched::TouchEnable touch : spec.touch_enables) {
-                SweepConfig cfg;
-                cfg.family = axes[gi].family;
-                cfg.params = axes[gi].params;
-                cfg.params.cache_lines = spec.cache_lines[ci];
-                // Both backends of one grid point replay one shared graph
-                // (generate_graphs order: axes × cache_lines × layouts).
-                cfg.graph_index =
-                    (gi * spec.cache_lines.size() + ci) * spec.layouts.size() +
-                    li;
-                cfg.backend = backend;
-                cfg.layout = spec.layouts[li];
-                cfg.options.procs = procs;
-                cfg.options.policy = policy;
-                cfg.options.touch_enable = touch;
-                cfg.options.cache_lines = spec.cache_lines[ci];
-                cfg.options.cache_policy = spec.cache_policy;
-                cfg.options.stall_prob = spec.stall_prob;
-                cfg.options.seed = spec.seed_base;
-                cfg.options.max_steps = spec.max_steps;
-                configs.push_back(cfg);
+                for (const core::StealPolicy steal : spec.steal_policies) {
+                  for (const core::VictimPolicy victim :
+                       spec.victim_policies) {
+                    SweepConfig cfg;
+                    cfg.family = axes[gi].family;
+                    cfg.params = axes[gi].params;
+                    cfg.params.cache_lines = spec.cache_lines[ci];
+                    // Both backends of one grid point replay one shared
+                    // graph (generate_graphs order: axes × cache_lines ×
+                    // layouts; the steal axes reuse it untouched).
+                    cfg.graph_index =
+                        (gi * spec.cache_lines.size() + ci) *
+                            spec.layouts.size() +
+                        li;
+                    cfg.backend = backend;
+                    cfg.layout = spec.layouts[li];
+                    cfg.options.procs = procs;
+                    cfg.options.policy = policy;
+                    cfg.options.touch_enable = touch;
+                    cfg.options.steal_policy = steal;
+                    cfg.options.victim_policy = victim;
+                    cfg.options.cache_lines = spec.cache_lines[ci];
+                    cfg.options.cache_policy = spec.cache_policy;
+                    cfg.options.stall_prob = spec.stall_prob;
+                    cfg.options.seed = spec.seed_base;
+                    cfg.options.max_steps = spec.max_steps;
+                    configs.push_back(cfg);
+                  }
+                }
               }
             }
           }
@@ -171,6 +185,7 @@ SweepCell run_replicates(const core::Graph& g, sched::SimOptions opts,
     cell.declined_steals.add(static_cast<double>(par.declined_steals));
     cell.steps.add(static_cast<double>(par.steps));
     cell.premature_touches.add(static_cast<double>(par.premature_touches));
+    cell.batch_stolen_items.add(static_cast<double>(par.batch_stolen_items));
   }
   return cell;
 }
@@ -185,12 +200,13 @@ double stderr_of(const support::Accumulator& acc) {
 std::vector<std::string> sweep_table_headers() {
   return {"backend", "family", "size", "size2", "nodes", "span", "touches",
           "procs", "policy", "touch_enable", "cache_lines", "layout",
-          "replicates",
+          "steal", "victim", "replicates",
           "mean_deviations", "stderr_deviations", "mean_additional_misses",
           "stderr_additional_misses", "mean_seq_misses", "mean_steals",
           "stderr_steals", "mean_steps", "mean_declined_steals",
           "mean_premature_touches", "mean_parked_touches",
-          "mean_fiber_switches", "mean_migrations", "mean_wall_us"};
+          "mean_fiber_switches", "mean_migrations", "mean_wall_us",
+          "mean_batch_stolen_items"};
 }
 
 void add_sweep_row(support::Table& table, const SweepConfig& c,
@@ -214,6 +230,8 @@ void add_sweep_row(support::Table& table, const SweepConfig& c,
       .add(to_string(c.options.touch_enable))
       .add(static_cast<std::uint64_t>(c.options.cache_lines))
       .add(core::to_string(c.layout))
+      .add(core::to_string(c.options.steal_policy))
+      .add(core::to_string(c.options.victim_policy))
       .add(static_cast<std::uint64_t>(cell.deviations.count()))
       .add(cell.deviations.mean())
       .add(stderr_of(cell.deviations))
@@ -228,7 +246,8 @@ void add_sweep_row(support::Table& table, const SweepConfig& c,
       .add(mean_or_missing(cell.parked_touches))
       .add(mean_or_missing(cell.fiber_switches))
       .add(mean_or_missing(cell.migrations))
-      .add(mean_or_missing(cell.wall_us));
+      .add(mean_or_missing(cell.wall_us))
+      .add(mean_or_missing(cell.batch_stolen_items));
 }
 
 std::vector<std::string> sweep_row_cells(const SweepConfig& c,

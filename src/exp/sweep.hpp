@@ -71,6 +71,13 @@ struct SweepSpec {
   /// order; `random` is seeded from each axis's params.seed.
   std::vector<core::NodeOrderKind> layouts = {
       core::NodeOrderKind::Construction};
+  /// Steal-amount policies (core/policy.hpp): how much a thief claims per
+  /// successful steal. Like `layouts`, an identity axis carried through
+  /// checkpoints, resume validation, and the output table.
+  std::vector<core::StealPolicy> steal_policies = {core::StealPolicy::One};
+  /// Victim-selection policies: how a thief picks whom to rob.
+  std::vector<core::VictimPolicy> victim_policies = {
+      core::VictimPolicy::Uniform};
   std::string cache_policy = "lru";
   double stall_prob = 0.2;
   /// Replicates per configuration (random schedule seeds).
@@ -120,6 +127,9 @@ struct SweepCell {
   support::Accumulator fiber_switches;
   support::Accumulator migrations;
   support::Accumulator wall_us;
+  /// Items claimed beyond the first across all steal-half batches (both
+  /// backends feed it; identically zero under StealPolicy::One).
+  support::Accumulator batch_stolen_items;
 };
 
 struct SweepRow {
@@ -147,8 +157,10 @@ SweepSpec smoke_spec();
 
 /// Expands the spec into its configuration list (no graphs generated, no
 /// simulation). Order: backends × graphs (each axis expanded over its size
-/// list) × cache_lines × layouts × procs × policies × touch_enables,
-/// innermost last — the row order of every emitter below.
+/// list) × cache_lines × layouts × procs × policies × touch_enables ×
+/// steal_policies × victim_policies, innermost last — the row order of
+/// every emitter below. The steal axes don't affect graph generation, so
+/// graph_index ignores them.
 std::vector<SweepConfig> expand_spec(const SweepSpec& spec);
 
 /// The spec's graph axes with per-family size lists flattened into one

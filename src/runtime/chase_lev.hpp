@@ -123,6 +123,46 @@ class ChaseLevDeque {
     return value;
   }
 
+  /// Thief: steal up to `max_n` items from the top, bounded by half the
+  /// victim's observed size (steal-half). Claimed items are appended to
+  /// `out` oldest-first; returns the number claimed (0 on empty or a lost
+  /// first race).
+  ///
+  /// Why not one batch CAS (top += k)? With an owner that pops at the
+  /// bottom, a multi-item claim cannot be validated: owner pops of the
+  /// elements in (t, t+k) never touch top_, so a thief's successful CAS
+  /// t -> t+k can believe it owns items the owner already ran. (Deques
+  /// whose *owner* CASes the steal index — e.g. FIFO runqueues — don't
+  /// have this hazard; a bottom-popping Chase–Lev deque does.) For the
+  /// same reason each claim must re-read bottom_ behind a seq_cst fence:
+  /// a loop that only CASes top_ per item can still consume an element a
+  /// concurrent owner free-pop already took. So the batch is a strict
+  /// composition of the proven steal_top protocol — it amortizes victim
+  /// selection and the thief's re-dispatch, not the claim itself — and
+  /// stops at the first lost race or empty observation.
+  std::size_t steal_batch(std::vector<T>& out, std::size_t max_n) {
+    // relaxed ×2 (both loads): sizing probe only — `want` is an advisory
+    // bound, and no payload is read under these indices; every actual
+    // claim below runs the full fence-ordered steal_top protocol.
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b =
+        bottom_.load(std::memory_order_relaxed);  // see probe comment above
+    if (t >= b) return 0;
+    // Half of the observed size, rounded up so a 1-element deque still
+    // yields one item.
+    const auto avail = static_cast<std::size_t>(b - t);
+    std::size_t want = (avail + 1) / 2;
+    if (want > max_n) want = max_n;
+    std::size_t got = 0;
+    while (got < want) {
+      T value = steal_top();
+      if (value == nullptr) break;  // emptied, or lost a race — stop here
+      out.push_back(value);
+      ++got;
+    }
+    return got;
+  }
+
   /// Racy size estimate (monitoring only).
   std::size_t size_estimate() const {
     // relaxed ×2: a monitoring probe; staleness is acceptable by contract

@@ -30,6 +30,9 @@ void for_each_field(WorkerCounters& a, const WorkerCounters& b, F&& f) {
   f(a.wakes_pushed, b.wakes_pushed);
   f(a.fiber_resumes, b.fiber_resumes);
   f(a.shed, b.shed);
+  f(a.batch_steals, b.batch_steals);
+  f(a.batch_stolen_items, b.batch_stolen_items);
+  f(a.steal_backoffs, b.steal_backoffs);
 }
 
 // Saturating subtraction: a counters() snapshot racing a concurrent
@@ -80,7 +83,8 @@ std::string CountersReport::to_string() const {
      << " handoff_runs=" << t.handoff_runs
      << " cont_pushed=" << t.continuations_pushed
      << " wakes=" << t.wakes_pushed << " switches=" << t.fiber_resumes
-     << " shed=" << t.shed;
+     << " shed=" << t.shed << " batch_steals=" << t.batch_steals << "/"
+     << t.batch_stolen_items << " backoffs=" << t.steal_backoffs;
   return os.str();
 }
 

@@ -71,6 +71,12 @@ class RelaxedCounter {
 ///   * every deque/inbox-sourced job was obtained exactly one way:
 ///       local_pops + inbox_takes + steals
 ///         == (tasks_run - inline_children) + resumes
+///     (`steals` counts steal *operations*, each yielding the one job the
+///     thief runs directly; under StealPolicy::Half the extra
+///     `batch_stolen_items` go onto the thief's own deque uncounted —
+///     like take_injected's admission batching — and are later acquired
+///     as local_pops, so the identity closes unchanged. Jobs moved out of
+///     other workers' deques total steals + batch_stolen_items.)
 ///   * every Resume job that was created was executed:
 ///       resumes == continuations_pushed + wakes_pushed
 ///   * every park is resolved by exactly one wake:
@@ -130,6 +136,17 @@ struct alignas(64) WorkerCounters {
   /// expired before they started (they never ran; see the class comment
   /// for how this reconciles with the acquisition identities).
   RelaxedCounter shed;
+  /// Steal operations that claimed two or more items (StealPolicy::Half
+  /// batches; a batch that got exactly one item is just a steal).
+  RelaxedCounter batch_steals;
+  /// Items claimed *beyond the first* across all batch steals. The first
+  /// item of every successful steal op is counted in `steals`; these
+  /// extras land on the thief's deque and reconcile as later local_pops
+  /// (see the class comment).
+  RelaxedCounter batch_stolen_items;
+  /// Backoff episodes: a worker slept (capped exponential) after a run of
+  /// consecutive failed steal rounds. Counts episodes, not spins.
+  RelaxedCounter steal_backoffs;
 
   WorkerCounters& operator+=(const WorkerCounters& o);
   /// Field-wise saturating difference, for reporting counts since a

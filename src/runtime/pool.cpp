@@ -47,6 +47,8 @@ Worker::Worker(Scheduler& sched, std::uint32_t id,
     : sched_(sched),
       id_(id),
       stack_bytes_(opts.stack_bytes),
+      steal_policy_(opts.steal),
+      victim_policy_(opts.victim),
       rng_(support::derive_seed(opts.seed, id)) {}
 
 Worker::~Worker() = default;
@@ -102,22 +104,99 @@ void Worker::main_loop() {
 Job* Worker::find_work() {
   if (Job* j = deque_.pop_bottom()) {
     counters_.local_pops++;
+    failed_steal_streak_ = 0;
     return j;
   }
   if (Job* j = sched_.take_injected(*this)) {
     counters_.inbox_takes++;
+    failed_steal_streak_ = 0;
     return j;
   }
-  // One random steal attempt per round, like the model's parsimonious
-  // thief.
+  // One steal operation per round, like the model's parsimonious thief
+  // (StealPolicy::Half claims a batch, but still one operation per round).
+  // A single worker has no victims: skip selection entirely so 1-worker
+  // replays burn no steal_attempts and no RNG draws.
   const std::uint32_t n = sched_.num_workers();
   if (n <= 1) return nullptr;
   counters_.steal_attempts++;
+  const std::uint32_t victim = pick_victim(n);
+  Job* j = steal_from(victim);
+  if (j != nullptr) {
+    counters_.steals++;
+    last_victim_ = victim;
+    failed_steal_streak_ = 0;
+    backoff_us_ = 0;
+    return j;
+  }
+  last_victim_ = kNoVictim;
+  // Capped exponential backoff once a few consecutive rounds fail: an idle
+  // thief hammering top_ CASes generates coherence traffic on every victim
+  // line it probes; sleeping before the next probe costs only latency it
+  // was already wasting. main_loop's epoch park still bounds the worst
+  // case, and any acquired work resets the streak.
+  constexpr std::uint32_t kBackoffAfter = 4;
+  constexpr std::uint32_t kBackoffStartUs = 2;
+  constexpr std::uint32_t kBackoffCapUs = 64;
+  if (++failed_steal_streak_ >= kBackoffAfter) {
+    if (backoff_us_ == 0) {
+      backoff_us_ = kBackoffStartUs;
+    } else if (backoff_us_ < kBackoffCapUs) {
+      backoff_us_ *= 2;
+    }
+    counters_.steal_backoffs++;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us_));
+  }
+  return nullptr;
+}
+
+std::uint32_t Worker::pick_victim(std::uint32_t n) {
+  switch (victim_policy_) {
+    case core::VictimPolicy::LastVictim:
+      // Affinity: retry the worker the last steal succeeded from — it
+      // likely still has work, and re-stealing from one victim keeps the
+      // thief's working set on fewer remote lines. Falls back to uniform
+      // when there is no remembered victim.
+      if (last_victim_ != kNoVictim && last_victim_ < n &&
+          last_victim_ != id_)
+        return last_victim_;
+      break;
+    case core::VictimPolicy::Nearest: {
+      // Deterministic neighbor scan by index distance: a stand-in for
+      // topology awareness (adjacent workers as cache/NUMA neighbors).
+      for (std::uint32_t d = 1; d < n; ++d) {
+        const std::uint32_t v = (id_ + d) % n;
+        if (!sched_.workers_[v]->deque_.empty_estimate()) return v;
+      }
+      return (id_ + 1) % n;  // all look empty: probe the next ring slot
+    }
+    case core::VictimPolicy::Uniform:
+      break;
+  }
   auto victim = static_cast<std::uint32_t>(rng_.below(n - 1));
   if (victim >= id_) ++victim;
-  Job* j = sched_.workers_[victim]->deque_.steal_top();
-  if (j) counters_.steals++;
-  return j;
+  return victim;
+}
+
+Job* Worker::steal_from(std::uint32_t victim) {
+  ChaseLevDeque<Job*>& vd = sched_.workers_[victim]->deque_;
+  if (steal_policy_ == core::StealPolicy::One) return vd.steal_top();
+  // Steal-half: claim up to half the victim's items (bounded so one batch
+  // cannot monopolize a huge deque), run the oldest, and keep the rest.
+  constexpr std::size_t kMaxStealBatch = 16;
+  steal_buf_.clear();
+  const std::size_t got = vd.steal_batch(steal_buf_, kMaxStealBatch);
+  if (got == 0) return nullptr;
+  // steal_buf_ is oldest-first; index 0 is what steal-one would have
+  // taken. The extras become ordinary deque work on *this* worker —
+  // uncounted here, acquired later as local_pops (the take_injected
+  // precedent), so the acquisition identities close unchanged. Push newest
+  // first: LIFO pops then run them oldest-first after the returned job.
+  for (std::size_t i = got; i > 1; --i) deque_.push_bottom(steal_buf_[i - 1]);
+  if (got > 1) {
+    counters_.batch_steals++;
+    counters_.batch_stolen_items += got - 1;
+  }
+  return steal_buf_[0];
 }
 
 Fiber* Worker::acquire_fiber(support::MoveOnlyFunction<void()> body) {
@@ -650,9 +729,11 @@ struct LeaseRegistry {
     std::uint32_t workers;
     SpawnPolicy policy;
     std::size_t stack_bytes;
+    core::StealPolicy steal;
+    core::VictimPolicy victim;
     bool operator<(const Key& o) const {
-      return std::tie(workers, policy, stack_bytes) <
-             std::tie(o.workers, o.policy, o.stack_bytes);
+      return std::tie(workers, policy, stack_bytes, steal, victim) <
+             std::tie(o.workers, o.policy, o.stack_bytes, o.steal, o.victim);
     }
   };
   support::Mutex mutex;
@@ -673,7 +754,8 @@ std::shared_ptr<SharedScheduler> SharedScheduler::acquire(
   if (resolved.workers == 0)
     resolved.workers = std::max(1u, std::thread::hardware_concurrency());
   const LeaseRegistry::Key key{resolved.workers, resolved.policy,
-                               resolved.stack_bytes};
+                               resolved.stack_bytes, resolved.steal,
+                               resolved.victim};
 
   LeaseRegistry& registry = lease_registry();
   support::LockGuard lock(registry.mutex);

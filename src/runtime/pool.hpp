@@ -52,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "runtime/chase_lev.hpp"
 #include "support/move_only_function.hpp"
 #include "runtime/counters.hpp"
@@ -83,6 +84,12 @@ struct RuntimeOptions {
   std::size_t stack_bytes = 256 * 1024;
   /// Seed for victim selection.
   std::uint64_t seed = 0x5eed;
+  /// How much a thief claims per successful steal (one task, or up to half
+  /// the victim's deque via ChaseLevDeque::steal_batch).
+  core::StealPolicy steal = core::StealPolicy::One;
+  /// How a thief picks its victim (uniform random, last-victim affinity,
+  /// or nearest-neighbor scan).
+  core::VictimPolicy victim = core::VictimPolicy::Uniform;
   /// Admission-inbox capacity in jobs; 0 = unbounded (the pre-backpressure
   /// behavior). With a bound, submission under a full inbox follows the
   /// caller's SubmitPolicy (Block / Reject / Timeout) — the service's
@@ -304,6 +311,14 @@ class Worker {
   friend struct WorkerAudit;  // tests/test_false_sharing.cpp
 
   Job* find_work();
+  /// Chooses a steal victim under victim_policy_ (never this worker).
+  std::uint32_t pick_victim(std::uint32_t n);
+  /// One steal operation against `victim` under steal_policy_: steal-one
+  /// takes the victim's top; steal-half claims up to half the victim's
+  /// items, runs the oldest, and pushes the rest onto this worker's deque
+  /// (their acquisition is counted when they are popped, like
+  /// take_injected's admission batching).
+  Job* steal_from(std::uint32_t victim);
   void execute(Job* job);
   void run_fiber(Fiber* f);
   /// Consumes the pending handoff (counting it), nullptr when none is set.
@@ -322,9 +337,23 @@ class Worker {
   Scheduler& sched_;
   std::uint32_t id_;
   std::size_t stack_bytes_;
+  core::StealPolicy steal_policy_;
+  core::VictimPolicy victim_policy_;
   alignas(64) ChaseLevDeque<Job*> deque_;
   support::Xoshiro256 rng_;
   alignas(64) WorkerCounters counters_;
+
+  // ---- owner-only steal-loop state ----
+  static constexpr std::uint32_t kNoVictim = ~std::uint32_t{0};
+  /// Last worker a steal succeeded from (VictimPolicy::LastVictim).
+  std::uint32_t last_victim_ = kNoVictim;
+  /// Consecutive find_work rounds that ended in a failed steal; drives the
+  /// capped exponential backoff and resets on any acquired work.
+  std::uint32_t failed_steal_streak_ = 0;
+  /// Current backoff sleep in microseconds (capped exponential).
+  std::uint32_t backoff_us_ = 0;
+  /// Scratch buffer for ChaseLevDeque::steal_batch claims.
+  std::vector<Job*> steal_buf_;
 
   // Scheduler-context scratch used by the suspend protocols.
   ucontext_t sched_ctx_{};
@@ -755,7 +784,8 @@ JobOutcome JobHandle<R>::wait_outcome() {
 
 /// A process-wide, reference-counted lease on a long-lived Scheduler.
 /// acquire() returns the live scheduler for (resolved worker count, policy,
-/// stack size) or starts one; the scheduler dies when the last lease drops.
+/// stack size, steal policy, victim policy) or starts one; the scheduler
+/// dies when the last lease drops.
 /// This is how independent components (e.g. the sweep backend's worker
 /// threads) share one warm pool instead of churning a scheduler each.
 /// RuntimeOptions::seed is deliberately not part of the key: it only

@@ -18,10 +18,19 @@ void ScheduleController::on_steal(const Simulator&, core::ProcId,
                                   core::ProcId, core::NodeId) {}
 
 RandomController::RandomController(std::uint64_t seed, double stall_prob,
-                                   bool steal_nonempty_only)
+                                   bool steal_nonempty_only,
+                                   core::VictimPolicy victim_policy)
     : rng_(seed),
       stall_prob_(stall_prob),
-      steal_nonempty_only_(steal_nonempty_only) {}
+      steal_nonempty_only_(steal_nonempty_only),
+      victim_policy_(victim_policy) {}
+
+void RandomController::on_start(const Simulator& sim) {
+  // "None yet" is each thief's own index (a thief never steals from
+  // itself), so LastVictim starts every run with a clean affinity slate.
+  last_victim_.resize(sim.num_procs());
+  for (core::ProcId p = 0; p < sim.num_procs(); ++p) last_victim_[p] = p;
+}
 
 bool RandomController::awake(const Simulator&, core::ProcId) {
   if (stall_prob_ <= 0.0) return true;
@@ -32,6 +41,26 @@ core::ProcId RandomController::pick_victim(const Simulator& sim,
                                            core::ProcId thief) {
   const std::uint32_t procs = sim.num_procs();
   if (procs <= 1) return thief;  // nobody to steal from
+  switch (victim_policy_) {
+    case core::VictimPolicy::LastVictim: {
+      // Affinity: retry the last productive victim while it still has
+      // work; no RNG draw is spent on the retry. Falls through to the
+      // uniform draw when there is no (or an emptied) remembered victim.
+      const core::ProcId last = last_victim_[thief];
+      if (last != thief && !sim.deque_empty(last)) return last;
+      break;
+    }
+    case core::VictimPolicy::Nearest:
+      // Deterministic ring scan by index distance; declines the round when
+      // every other deque is empty (no RNG draws at all).
+      for (core::ProcId d = 1; d < procs; ++d) {
+        const core::ProcId v = (thief + d) % procs;
+        if (!sim.deque_empty(v)) return v;
+      }
+      return thief;
+    case core::VictimPolicy::Uniform:
+      break;
+  }
   if (!steal_nonempty_only_) {
     // Faithful ABP: uniform over the other processors; may fail.
     auto v = static_cast<core::ProcId>(rng_.below(procs - 1));
@@ -45,6 +74,12 @@ core::ProcId RandomController::pick_victim(const Simulator& sim,
     if (q != thief && !sim.deque_empty(q)) candidates_.push_back(q);
   if (candidates_.empty()) return thief;
   return candidates_[rng_.below(candidates_.size())];
+}
+
+void RandomController::on_steal(const Simulator&, core::ProcId thief,
+                                core::ProcId victim, core::NodeId) {
+  if (victim_policy_ == core::VictimPolicy::LastVictim)
+    last_victim_[thief] = victim;
 }
 
 ScriptController& ScriptController::sleep_after(const std::string& role,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/policy.hpp"
 #include "support/rng.hpp"
 
 namespace wsf::sched {
@@ -53,22 +54,35 @@ class ScheduleController {
 class RandomController : public ScheduleController {
  public:
   RandomController(std::uint64_t seed, double stall_prob,
-                   bool steal_nonempty_only);
+                   bool steal_nonempty_only,
+                   core::VictimPolicy victim_policy =
+                       core::VictimPolicy::Uniform);
 
   /// Rewinds the random stream to a fresh seed, as if newly constructed —
   /// lets Simulator::reset reuse the controller across seed replicates.
-  void reseed(std::uint64_t seed) { rng_ = support::Xoshiro256(seed); }
+  /// Last-victim affinity state is cleared too (on_start re-sizes it).
+  void reseed(std::uint64_t seed) {
+    rng_ = support::Xoshiro256(seed);
+    last_victim_.clear();
+  }
 
+  void on_start(const Simulator& sim) override;
   bool awake(const Simulator& sim, core::ProcId p) override;
   core::ProcId pick_victim(const Simulator& sim, core::ProcId thief) override;
+  void on_steal(const Simulator& sim, core::ProcId thief, core::ProcId victim,
+                core::NodeId v) override;
 
  private:
   support::Xoshiro256 rng_;
   double stall_prob_;
   bool steal_nonempty_only_;
+  core::VictimPolicy victim_policy_;
   /// Scratch for pick_victim's non-empty-deque scan, kept across rounds so
   /// the steal hot path stays allocation-free after the first call.
   std::vector<core::ProcId> candidates_;
+  /// Per-thief last successful victim (VictimPolicy::LastVictim); sized at
+  /// on_start. An entry equal to the thief's own index means "none yet".
+  std::vector<core::ProcId> last_victim_;
 };
 
 /// Scripted adversarial controller driven by node roles. Rules:

@@ -61,6 +61,15 @@ struct SimOptions {
   /// as failed_steals.
   bool steal_nonempty_only = true;
 
+  /// How much a thief claims per successful steal: one node (the paper's
+  /// parsimonious model) or up to half the victim's deque (the steal-half
+  /// amortization). Extra claimed nodes land on the thief's own deque; the
+  /// steal still costs one round.
+  core::StealPolicy steal_policy = core::StealPolicy::One;
+  /// How the default random controller picks victims: uniform random (the
+  /// paper's model), last-victim affinity, or nearest-neighbor scan.
+  core::VictimPolicy victim_policy = core::VictimPolicy::Uniform;
+
   /// Cache lines per processor (C); 0 disables cache simulation.
   std::size_t cache_lines = 0;
   /// Cache replacement policy ("lru", "fifo", "direct", "assocW").

@@ -16,7 +16,8 @@ Simulator::Simulator(const core::Graph& g, const SimOptions& opts,
   WSF_REQUIRE(opts_.procs >= 1, "need at least one processor");
   if (!controller_) {
     owned_controller_ = std::make_unique<RandomController>(
-        opts_.seed, opts_.stall_prob, opts_.steal_nonempty_only);
+        opts_.seed, opts_.stall_prob, opts_.steal_nonempty_only,
+        opts_.victim_policy);
     controller_ = owned_controller_.get();
   }
   pending_.resize(g_.num_nodes());
@@ -50,6 +51,8 @@ void Simulator::reset_state() {
   result_.steals = 0;
   result_.steal_attempts = 0;
   result_.failed_steals = 0;
+  result_.batch_steals = 0;
+  result_.batch_stolen_items = 0;
   result_.idle_steps = 0;
   result_.declined_steals = 0;
   result_.premature_touches = 0;
@@ -157,11 +160,30 @@ void Simulator::try_steal(core::ProcId p) {
     ++result_.failed_steals;
     return;
   }
+  const std::size_t observed = deques_[victim].size();
   const core::NodeId stolen = deques_[victim].front();  // top of the deque
   deques_[victim].pop_front();
   ++result_.steals;
   if (opts_.record_trace) result_.stolen_nodes.push_back(stolen);
   current_[p] = stolen;  // executed next round (a steal costs one round)
+  if (opts_.steal_policy == core::StealPolicy::Half && observed >= 2) {
+    // Steal-half: the same operation also claims the rest of the victim's
+    // top half — ceil(observed/2) nodes total, the first of which is
+    // `stolen`. The extras land on the thief's deque (empty by the run
+    // loop's precondition) ordered exactly as the runtime's batch steal:
+    // the thief's own pops run them oldest-first, while its deque top
+    // holds the newest extra for onward thieves.
+    const std::size_t extras = (observed + 1) / 2 - 1;
+    WSF_DCHECK(deques_[p].empty(), "batch extras onto a non-empty deque");
+    for (std::size_t i = 0; i < extras; ++i) {
+      const core::NodeId e = deques_[victim].front();
+      deques_[victim].pop_front();
+      if (opts_.record_trace) result_.stolen_nodes.push_back(e);
+      deques_[p].push_front(e);  // reverses: oldest extra ends at the bottom
+    }
+    ++result_.batch_steals;
+    result_.batch_stolen_items += extras;
+  }
   controller_->on_steal(*this, p, victim, stolen);
 }
 

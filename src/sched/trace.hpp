@@ -42,6 +42,13 @@ struct SimResult {
   /// Theorem 8/9 benches reason about.
   std::uint64_t steal_attempts = 0;
   std::uint64_t failed_steals = 0;
+  /// Steal operations that claimed two or more nodes (steal-half batches).
+  /// Zero under StealPolicy::One.
+  std::uint64_t batch_steals = 0;
+  /// Nodes claimed beyond the first across all batch steals; every steal's
+  /// first node is counted in `steals`, so nodes moved between deques
+  /// total steals + batch_stolen_items.
+  std::uint64_t batch_stolen_items = 0;
   /// Processor-rounds spent asleep (the controller's awake() said no).
   std::uint64_t idle_steps = 0;
   /// Workless processor-rounds where the controller declined to pick a

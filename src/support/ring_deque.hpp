@@ -17,8 +17,8 @@
 
 namespace wsf::support {
 
-/// Growable ring-buffer deque. Index 0 is the front; push/pop at the back,
-/// pop at the front (the owner/thief ends of a work-stealing deque).
+/// Growable ring-buffer deque. Index 0 is the front; push/pop at both ends
+/// (back = the owner end, front = the thief end of a work-stealing deque).
 /// Intended for trivially copyable element types; growth copies elements.
 template <typename T>
 class RingDeque {
@@ -50,6 +50,14 @@ class RingDeque {
   void pop_back() {
     WSF_DCHECK(size_ > 0);
     --size_;
+  }
+  /// Push at the front (the steal end) — used when transplanting a stolen
+  /// batch so its relative order can be reversed without scratch space.
+  void push_front(T v) {
+    if (size_ == buf_.size()) grow();
+    head_ = (head_ + buf_.size() - 1) & mask();
+    buf_[head_] = std::move(v);
+    ++size_;
   }
   void pop_front() {
     WSF_DCHECK(size_ > 0);

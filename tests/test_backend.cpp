@@ -126,6 +126,89 @@ TEST(BackendRows, OneWorkerDeviationsAgreeAcrossBackendsOnEveryFamily) {
   }
 }
 
+TEST(BackendSpec, StealAxesExpandInnermost) {
+  auto spec = both_backends_spec();
+  spec.backends = {exp::BackendKind::Sim};
+  spec.steal_policies = {core::StealPolicy::One, core::StealPolicy::Half};
+  spec.victim_policies = {core::VictimPolicy::Uniform,
+                          core::VictimPolicy::Nearest};
+  const auto configs = exp::expand_spec(spec);
+  // graphs(2) × procs(2) × policies(2) × steal(2) × victim(2)
+  ASSERT_EQ(configs.size(), 32u);
+  // The steal axes are the innermost loops and never affect the shared
+  // graph: all four (steal, victim) variants of a grid point reference the
+  // same generated graph.
+  for (std::size_t i = 0; i < configs.size(); i += 4) {
+    EXPECT_EQ(configs[i].options.steal_policy, core::StealPolicy::One);
+    EXPECT_EQ(configs[i].options.victim_policy, core::VictimPolicy::Uniform);
+    EXPECT_EQ(configs[i + 1].options.victim_policy,
+              core::VictimPolicy::Nearest);
+    EXPECT_EQ(configs[i + 2].options.steal_policy, core::StealPolicy::Half);
+    for (std::size_t j = 1; j < 4; ++j) {
+      EXPECT_EQ(configs[i + j].graph_index, configs[i].graph_index);
+      EXPECT_EQ(configs[i + j].family, configs[i].family);
+      EXPECT_EQ(configs[i + j].options.procs, configs[i].options.procs);
+    }
+  }
+}
+
+TEST(BackendRows, OneWorkerAgreesAcrossBackendsForEveryStealPolicyCombo) {
+  // The steal-path twin of the P=1 validation hinge: with one worker no
+  // steal ever happens, so every steal × victim policy combination must
+  // leave both engines on the exact sequential order — agreeing deviation
+  // cells, zero steals, zero batch items.
+  exp::SweepSpec spec;
+  spec.graphs = {{"fig2", {.size = 4, .size2 = 3}, {}},
+                 {"fig4", {.size = 4, .size2 = 3}, {}}};
+  spec.backends = {exp::BackendKind::Sim, exp::BackendKind::Runtime};
+  spec.procs = {1};
+  spec.policies = {ForkPolicy::FutureFirst};
+  spec.touch_enables = {TouchEnable::TouchFirst};
+  spec.cache_lines = {0};
+  spec.steal_policies = {core::StealPolicy::One, core::StealPolicy::Half};
+  spec.victim_policies = {core::VictimPolicy::Uniform,
+                          core::VictimPolicy::LastVictim,
+                          core::VictimPolicy::Nearest};
+  spec.seeds = 2;
+
+  const auto table = exp::to_table(exp::run_sweep(spec, 2));
+  const std::size_t half = table.num_rows() / 2;
+  ASSERT_EQ(half, 12u);  // graphs(2) × steal(2) × victim(3)
+  for (std::size_t r = 0; r < half; ++r) {
+    ASSERT_EQ(cell(table, r, "backend"), "sim");
+    ASSERT_EQ(cell(table, r + half, "backend"), "runtime");
+    ASSERT_EQ(cell(table, r, "steal"), cell(table, r + half, "steal"));
+    ASSERT_EQ(cell(table, r, "victim"), cell(table, r + half, "victim"));
+    EXPECT_EQ(cell(table, r, "mean_deviations"),
+              cell(table, r + half, "mean_deviations"))
+        << cell(table, r, "family") << " " << cell(table, r, "steal") << " "
+        << cell(table, r, "victim");
+    for (const std::size_t row : {r, r + half}) {
+      EXPECT_EQ(cell(table, row, "mean_deviations"), "0");
+      EXPECT_EQ(cell(table, row, "mean_steals"), "0");
+      EXPECT_EQ(cell(table, row, "mean_batch_stolen_items"), "0");
+    }
+  }
+}
+
+TEST(BackendCheckpoints, SignatureSeparatesStealAxes) {
+  const auto base = both_backends_spec();
+  auto half = base;
+  half.steal_policies = {core::StealPolicy::Half};
+  auto nearest = base;
+  nearest.victim_policies = {core::VictimPolicy::Nearest};
+  // A grid run under a different steal or victim policy is a different
+  // experiment: its checkpoints must never splice with the default grid's.
+  EXPECT_NE(exp::spec_signature(base), exp::spec_signature(half));
+  EXPECT_NE(exp::spec_signature(base), exp::spec_signature(nearest));
+  EXPECT_NE(exp::spec_signature(base).find("steals=one;"),
+            std::string::npos);
+  EXPECT_NE(exp::spec_signature(half).find("steals=half;"),
+            std::string::npos);
+  EXPECT_NE(exp::spec_signature(nearest).find("victims=nearest;"),
+            std::string::npos);
+}
+
 TEST(BackendCheckpoints, SignatureSeparatesBackends) {
   const auto spec = both_backends_spec();
   auto sim_only = spec;

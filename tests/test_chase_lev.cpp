@@ -110,6 +110,100 @@ TEST(ChaseLev, StressOwnerVsThieves) {
     ASSERT_EQ(taken[i].load(), 1) << "item " << i;
 }
 
+TEST(ChaseLev, StealBatchSequential) {
+  ChaseLevDeque<IntPtr> d;
+  int v[5] = {0, 1, 2, 3, 4};
+  for (int& x : v) d.push_bottom(&x);
+  // Half of 5 rounded up = 3, oldest-first; the bound caps the claim.
+  std::vector<IntPtr> out;
+  EXPECT_EQ(d.steal_batch(out, 16), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], &v[0]);
+  EXPECT_EQ(out[1], &v[1]);
+  EXPECT_EQ(out[2], &v[2]);
+  out.clear();
+  EXPECT_EQ(d.steal_batch(out, 1), 1u);  // max_n binds below half
+  EXPECT_EQ(out[0], &v[3]);
+  out.clear();
+  EXPECT_EQ(d.steal_batch(out, 16), 1u);  // 1-element deque still yields 1
+  EXPECT_EQ(out[0], &v[4]);
+  out.clear();
+  EXPECT_EQ(d.steal_batch(out, 16), 0u);  // empty
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ChaseLev, StressOwnerVsBatchThieves) {
+  // The steal-half version of StressOwnerVsThieves: the owner pushes and
+  // free-pops at the bottom while thieves claim batches at the top. Every
+  // item must be extracted exactly once — a batch claim that kept a stale
+  // bottom would double-consume an owner-popped item — and the per-thief
+  // claim tallies must sum to the extraction total (no item silently
+  // dropped inside a batch).
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<IntPtr> d;
+  std::vector<int> vals(kItems);
+  std::vector<std::atomic<int>> taken(kItems);
+  for (auto& t : taken) t.store(0);
+  for (int i = 0; i < kItems; ++i) vals[i] = i;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> extracted{0};
+  std::atomic<int> claimed_by_thieves{0};
+
+  auto thief = [&] {
+    std::vector<IntPtr> batch;
+    int claimed = 0;
+    while (!done.load(std::memory_order_acquire) ||
+           d.size_estimate() > 0) {
+      batch.clear();
+      const std::size_t got = d.steal_batch(batch, 8);
+      ASSERT_EQ(batch.size(), got);
+      for (IntPtr p : batch) {
+        taken[*p].fetch_add(1);
+        extracted.fetch_add(1);
+      }
+      claimed += static_cast<int>(got);
+    }
+    claimed_by_thieves.fetch_add(claimed);
+  };
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) thieves.emplace_back(thief);
+
+  // Owner: interleave pushes and free-pops (the pops race the thieves'
+  // batch claims — the hazard steal_batch must survive).
+  int owner_took = 0;
+  for (int i = 0; i < kItems; ++i) {
+    d.push_bottom(&vals[i]);
+    if (i % 3 == 0) {
+      if (IntPtr p = d.pop_bottom()) {
+        taken[*p].fetch_add(1);
+        extracted.fetch_add(1);
+        ++owner_took;
+      }
+    }
+  }
+  while (IntPtr p = d.pop_bottom()) {
+    taken[*p].fetch_add(1);
+    extracted.fetch_add(1);
+    ++owner_took;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  while (IntPtr p = d.steal_top()) {
+    taken[*p].fetch_add(1);
+    extracted.fetch_add(1);
+    ++owner_took;
+  }
+
+  EXPECT_EQ(extracted.load(), kItems);
+  // Sum-of-claims identity: every extraction was either an owner pop or
+  // part of exactly one thief's batch tally.
+  EXPECT_EQ(owner_took + claimed_by_thieves.load(), kItems);
+  for (int i = 0; i < kItems; ++i)
+    ASSERT_EQ(taken[i].load(), 1) << "item " << i;
+}
+
 TEST(ChaseLev, StressAllThieves) {
   // Everything is consumed by thieves only.
   constexpr int kItems = 8000;

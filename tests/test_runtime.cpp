@@ -314,6 +314,12 @@ TEST_P(Accounting, SingleWorkerHasNoSteals) {
   (void)sched.run([] { return fib_par(16); });
   const auto t = sched.counters().total();
   EXPECT_EQ(t.steals, 0u);
+  // The n==1 guard must bail before victim selection even starts: no
+  // attempts, hence no RNG draws, no batch claims, no failed-steal backoff.
+  EXPECT_EQ(t.steal_attempts, 0u);
+  EXPECT_EQ(t.batch_steals, 0u);
+  EXPECT_EQ(t.batch_stolen_items, 0u);
+  EXPECT_EQ(t.steal_backoffs, 0u);
   EXPECT_EQ(t.migrations, 0u);
   expect_reconciled(t, 1);
 }

@@ -30,6 +30,9 @@
 //                tail: slots 0, 10, 20, … of the stream)
 //   touch-heavy  alternating fig4 / fig2 jobs — many touch edges, so the
 //                load is parks/wakes rather than spawns
+//   steal-heavy  every job is a deep fork-join tree with unit leaves —
+//                maximal fan-out per node of work, so throughput is
+//                steal-path-bound (the --steal/--victim policy testbed)
 //
 //   ./build/tools/wsf-load --mix=skewed --jobs=12000 --warmup=1000 --strict
 //   ./build/tools/wsf-load --mix=uniform --workers=2 --submitters=4
@@ -51,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "graphs/registry.hpp"
 #include "runtime/pool.hpp"
 #include "runtime/replay.hpp"
@@ -75,6 +79,8 @@ struct LoadConfig {
   std::size_t (*kind_of)(std::uint64_t slot) = nullptr;
   std::uint32_t workers = 0;
   runtime::SpawnPolicy policy = runtime::SpawnPolicy::FutureFirst;
+  core::StealPolicy steal = core::StealPolicy::One;
+  core::VictimPolicy victim = core::VictimPolicy::Uniform;
   sched::TouchEnable touch_enable = sched::TouchEnable::TouchFirst;
   std::uint64_t jobs = 10000;
   std::uint64_t warmup = 1000;
@@ -90,6 +96,11 @@ struct LoadConfig {
   double offered_rate = 0;
   /// Per-job deadline, microseconds; 0 = none.
   std::uint64_t deadline_us = 0;
+  /// Failed-admission retries per batch (0 = give up immediately): after a
+  /// Rejected/Timeout submission the submitter backs off (capped
+  /// exponential) and re-offers the same staged batch up to this many
+  /// times.
+  std::uint64_t retry = 0;
 };
 
 struct LoadStats {
@@ -112,6 +123,13 @@ struct LoadStats {
   std::uint64_t rejected = 0;
   /// Admitted but deadline-expired before starting (never ran).
   std::uint64_t shed = 0;
+  /// Jobs re-offered after a failed admission (--retry; one batch retry of
+  /// n jobs counts n). submitted == jobs + retries by identity.
+  std::uint64_t retries = 0;
+  /// Jobs dropped after the whole --retry budget failed (== rejected, the
+  /// terminal tally; reconciled against the scheduler's rejected/timed_out
+  /// admission stats).
+  std::uint64_t gave_up = 0;
   /// Submitter wall time spent blocked waiting for inbox space, ms.
   double blocked_ms = 0;
   /// Fiber stacks created during the measured phase (0 at steady state).
@@ -120,6 +138,9 @@ struct LoadStats {
   std::uint64_t stacks_reused = 0;
   std::uint64_t steals = 0;
   std::uint64_t migrations = 0;
+  std::uint64_t batch_steals = 0;
+  std::uint64_t batch_stolen_items = 0;
+  std::uint64_t steal_backoffs = 0;
 };
 
 std::size_t kind_uniform(std::uint64_t) { return 0; }
@@ -142,10 +163,17 @@ LoadConfig make_mix(const std::string& name) {
   } else if (name == "touch-heavy") {
     cfg.kinds = {{"fig4", {.size = 6}}, {"fig2", {.size = 6}}};
     cfg.kind_of = kind_alternate;
+  } else if (name == "steal-heavy") {
+    // Depth-7 perfect fork-join tree with unit-work leaves: 127 forks and
+    // almost nothing else per job, so the deques churn and the workers
+    // live in the steal path — the mix where steal/victim policy choices
+    // actually move throughput.
+    cfg.kinds = {{"forkjoin", {.size = 7, .size2 = 1}}};
+    cfg.kind_of = kind_uniform;
   } else {
     WSF_REQUIRE(false, "unknown --mix '" << name
                                          << "' (uniform | skewed | "
-                                            "touch-heavy)");
+                                            "touch-heavy | steal-heavy)");
   }
   return cfg;
 }
@@ -159,6 +187,8 @@ struct PhaseCounts {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> shed{0};
   std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> gave_up{0};
 };
 
 /// One submitter thread: pulls batch-sized job ranges off the shared
@@ -205,12 +235,31 @@ void submitter_loop(runtime::Scheduler& sched, const LoadConfig& cfg,
       runtime::Batch batch(sched);
       for (std::uint64_t i = 0; i < n; ++i)
         arenas[i][cfg.kind_of(start + i)]->stage(batch, opts);
-      admitted =
-          sched.try_submit(batch, admit_opts) == runtime::SubmitStatus::Admitted;
-      // A failed batch is dropped here (scope exit): its jobs resolve as
-      // Abandoned, which collect() below reports without running anything.
+      // A failed try_submit leaves the staged batch intact, so --retry can
+      // re-offer the same jobs after a capped-exponential backoff (the
+      // client-side twin of the workers' failed-steal backoff).
+      std::uint64_t attempts = 0;
+      std::uint64_t backoff_us = 0;
+      constexpr std::uint64_t kRetryStartUs = 50;
+      constexpr std::uint64_t kRetryCapUs = 2000;
+      for (;;) {
+        admitted = sched.try_submit(batch, admit_opts) ==
+                   runtime::SubmitStatus::Admitted;
+        if (admitted || attempts >= cfg.retry) break;
+        ++attempts;
+        counts.retries.fetch_add(n, std::memory_order_relaxed);
+        backoff_us = backoff_us == 0 ? kRetryStartUs
+                                     : std::min(backoff_us * 2, kRetryCapUs);
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
+      // A still-unadmitted batch is dropped here (scope exit): its jobs
+      // resolve as Abandoned, which collect() below reports without
+      // running anything.
     }
-    if (!admitted) counts.rejected.fetch_add(n, std::memory_order_relaxed);
+    if (!admitted) {
+      counts.rejected.fetch_add(n, std::memory_order_relaxed);
+      counts.gave_up.fetch_add(n, std::memory_order_relaxed);
+    }
     for (std::uint64_t i = 0; i < n; ++i) {
       const runtime::ReplayResult r =
           arenas[i][cfg.kind_of(start + i)]->collect();
@@ -270,6 +319,8 @@ LoadStats run_load(const LoadConfig& cfg) {
   runtime::RuntimeOptions opts;
   opts.workers = cfg.workers;
   opts.policy = cfg.policy;
+  opts.steal = cfg.steal;
+  opts.victim = cfg.victim;
   // Replay bodies are flat loops; a small stack keeps the pooled set cheap.
   opts.stack_bytes = 128 * 1024;
   opts.inbox_capacity = cfg.inbox_cap;
@@ -288,6 +339,7 @@ LoadStats run_load(const LoadConfig& cfg) {
   warm_cfg.admit = runtime::SubmitPolicy::Block;
   warm_cfg.offered_rate = 0;
   warm_cfg.deadline_us = 0;
+  warm_cfg.retry = 0;  // blocking admission never fails, nothing to retry
   std::uint64_t created = sched.counters().total().fibers_created;
   for (int round = 0; round < 8; ++round) {
     PhaseCounts warm_counts;
@@ -317,6 +369,8 @@ LoadStats run_load(const LoadConfig& cfg) {
   stats.completed = counts.completed.load();
   stats.shed = counts.shed.load();
   stats.rejected = counts.rejected.load();
+  stats.retries = counts.retries.load();
+  stats.gave_up = counts.gave_up.load();
   stats.submitted = adm_after.submitted - adm_before.submitted;
   stats.blocked_ms =
       static_cast<double>(adm_after.blocked_us - adm_before.blocked_us) /
@@ -330,9 +384,21 @@ LoadStats run_load(const LoadConfig& cfg) {
                                           << stats.shed << " shed + "
                                           << stats.rejected << " rejected != "
                                           << cfg.jobs << " offered");
-  WSF_CHECK(stats.submitted == cfg.jobs,
+  WSF_CHECK(stats.submitted == cfg.jobs + stats.retries,
             "scheduler saw " << stats.submitted << " submissions for "
-                             << cfg.jobs << " offered jobs");
+                             << cfg.jobs << " offered + " << stats.retries
+                             << " retried jobs");
+  // Every failed submission attempt the scheduler recorded was either
+  // retried or terminally given up on by a submitter — the retry loop's
+  // books against the scheduler's.
+  WSF_CHECK((adm_after.rejected - adm_before.rejected) +
+                    (adm_after.timed_out - adm_before.timed_out) ==
+                stats.retries + stats.gave_up,
+            "failed-admission accounting leak: scheduler rejected/timed out "
+                << (adm_after.rejected - adm_before.rejected) << "/"
+                << (adm_after.timed_out - adm_before.timed_out)
+                << " submissions, submitters retried " << stats.retries
+                << " and gave up on " << stats.gave_up);
   WSF_CHECK(stats.shed == delta.shed,
             "tool observed " << stats.shed << " shed jobs but workers shed "
                              << delta.shed);
@@ -368,6 +434,9 @@ LoadStats run_load(const LoadConfig& cfg) {
   stats.stacks_reused = delta.stacks_reused;
   stats.steals = delta.steals;
   stats.migrations = delta.migrations;
+  stats.batch_steals = delta.batch_steals;
+  stats.batch_stolen_items = delta.batch_stolen_items;
+  stats.steal_backoffs = delta.steal_backoffs;
   return stats;
 }
 
@@ -381,6 +450,8 @@ void add_stat_columns(support::Table& table, const LoadConfig& cfg,
   table.add(cfg.mix_name)
       .add(resolved_workers(cfg))
       .add(runtime::to_string(cfg.policy))
+      .add(core::to_string(cfg.steal))
+      .add(core::to_string(cfg.victim))
       .add(sched::to_string(cfg.touch_enable))
       .add(stats.jobs)
       .add(cfg.batch)
@@ -401,25 +472,33 @@ void add_stat_columns(support::Table& table, const LoadConfig& cfg,
       .add(stats.submitted)
       .add(stats.completed)
       .add(stats.rejected)
+      .add(stats.retries)
+      .add(stats.gave_up)
       .add(stats.shed)
       .add(stats.blocked_ms)
       .add(stats.steady_fibers_created)
       .add(stats.stacks_reused)
       .add(stats.steals)
-      .add(stats.migrations);
+      .add(stats.migrations)
+      .add(stats.batch_steals)
+      .add(stats.batch_stolen_items)
+      .add(stats.steal_backoffs);
 }
 
 const std::vector<std::string> kStatHeaders = {
     "mix",          "workers",      "policy",
+    "steal",        "victim",
     "touch",        "jobs",         "batch",
     "submitters",   "inbox_cap",    "admit",
     "offered_rate", "deadline_us",  "wall_ms",
     "jobs_per_sec", "mean_us",      "p50_us",
     "p95_us",       "p99_us",       "max_us",
     "queue_p50_us", "queue_p99_us", "submitted",
-    "completed",    "rejected",     "shed",
+    "completed",    "rejected",     "retries",
+    "gave_up",      "shed",
     "blocked_ms",   "steady_fibers_created",
-    "stacks_reused", "steals",      "migrations"};
+    "stacks_reused", "steals",      "migrations",
+    "batch_steals", "batch_stolen_items", "steal_backoffs"};
 
 void write_rendered(const std::string& rendered, const std::string& path) {
   if (path.empty()) {
@@ -465,12 +544,18 @@ int main(int argc, char** argv) {
                                "worker threads (0 = hardware concurrency)");
   auto& policy = args.add_string("policy", "future-first",
                                  "fork policy (future-first | parent-first)");
+  auto& steal = args.add_string("steal", "one",
+                                "steal-amount policy (one | half): how much "
+                                "a thief claims per successful steal");
+  auto& victim = args.add_string("victim", "uniform",
+                                 "victim-selection policy (uniform | "
+                                 "last-victim | nearest)");
   auto& touch = args.add_string("touch", "touch-first",
                                 "touch-enable rule (touch-first | "
                                 "continuation-first)");
   auto& mix = args.add_string("mix", "skewed",
                               "job mix: uniform | skewed (90% tiny + 10% "
-                              "heavy) | touch-heavy");
+                              "heavy) | touch-heavy | steal-heavy");
   auto& jobs = args.add_int("jobs", 10000, "measured jobs");
   auto& warmup = args.add_int("warmup", 1000,
                               "warmup jobs before measuring (fills the "
@@ -495,6 +580,11 @@ int main(int argc, char** argv) {
       "deadline", 0,
       "per-job deadline in us (0 = none); jobs still queued past it are "
       "shed");
+  auto& retry = args.add_int(
+      "retry", 0,
+      "re-offer a Rejected/Timeout batch up to N times with capped "
+      "exponential backoff before giving it up (reported as "
+      "retries/gave_up)");
   auto& expect_overload = args.add_bool(
       "expect-overload", false,
       "exit nonzero unless the run shed or rejected at least one job "
@@ -536,6 +626,8 @@ int main(int argc, char** argv) {
     cfg.policy = policy.value == "future-first"
                      ? runtime::SpawnPolicy::FutureFirst
                      : runtime::SpawnPolicy::ParentFirst;
+    cfg.steal = core::steal_policy_from_string(steal.value);
+    cfg.victim = core::victim_policy_from_string(victim.value);
     cfg.touch_enable = sched::touch_enable_from_string(touch.value);
     WSF_REQUIRE(jobs.value > 0, "--jobs must be positive");
     WSF_REQUIRE(warmup.value > 0, "--warmup must be positive");
@@ -560,6 +652,8 @@ int main(int argc, char** argv) {
     cfg.admit_timeout_us = static_cast<std::uint64_t>(admit_timeout.value);
     cfg.offered_rate = offered_rate.value;
     cfg.deadline_us = static_cast<std::uint64_t>(deadline.value);
+    WSF_REQUIRE(retry.value >= 0, "--retry must be >= 0");
+    cfg.retry = static_cast<std::uint64_t>(retry.value);
     // A Block/Timeout batch larger than the inbox can never be admitted —
     // the scheduler refuses it, so refuse the invocation up front.
     WSF_REQUIRE(cfg.inbox_cap == 0 ||

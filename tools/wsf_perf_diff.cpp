@@ -95,7 +95,8 @@ int main(int argc, char** argv) {
       "ignore",
       "wall_ms,mean_us,p50_us,p95_us,max_us,elapsed_ms,latency_us,"
       "queue_p50_us,queue_p99_us,blocked_ms,"
-      "steals,migrations,stacks_reused,steady_fibers_created",
+      "steals,migrations,stacks_reused,steady_fibers_created,"
+      "batch_steals,batch_stolen_items,steal_backoffs",
       "comma-separated columns excluded from the diff entirely (noisy "
       "machine-dependent wall times and scheduling-dependent runtime "
       "counters; wsf-load --strict gates steady-state allocations itself)");

@@ -177,6 +177,15 @@ int main(int argc, char** argv) {
       "sequential, random): each graph is relabeled into the order before "
       "anything runs, making node layout an experimental axis with its own "
       "identity column; applies to --smoke too");
+  auto& steal = args.add_string(
+      "steal", "one",
+      "comma-separated steal-amount policies (one, half): how much a thief "
+      "claims per successful steal, with its own identity column; applies "
+      "to --smoke too");
+  auto& victim = args.add_string(
+      "victim", "uniform",
+      "comma-separated victim-selection policies (uniform, last-victim, "
+      "nearest); applies to --smoke too");
   auto& cache_policy = args.add_string("cache-policy", "lru",
                                        "lru | fifo | direct | assocW");
   auto& stall = args.add_double("stall", 0.2, "stall probability per round");
@@ -264,6 +273,13 @@ int main(int argc, char** argv) {
     spec.layouts.clear();
     for (const std::string& l : split_list(layout.value))
       spec.layouts.push_back(core::node_order_from_string(l));
+    // The steal axes apply on top of --smoke too, mirroring --layout.
+    spec.steal_policies.clear();
+    for (const std::string& s : split_list(steal.value))
+      spec.steal_policies.push_back(core::steal_policy_from_string(s));
+    spec.victim_policies.clear();
+    for (const std::string& v : split_list(victim.value))
+      spec.victim_policies.push_back(core::victim_policy_from_string(v));
     spec.cache_policy = cache_policy.value;
     spec.stall_prob = stall.value;
     spec.seed_base = static_cast<std::uint64_t>(seed_base.value);
